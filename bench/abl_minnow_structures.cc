@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablations beyond the paper: sensitivity of Minnow performance to
+ * its structure sizes — local queue depth, load buffer entries, and
+ * the OBIM bucket interval of the offloaded global worklist — on a
+ * priority-sensitive workload (SSSP) and a throughput one (BFS).
+ * These quantify the design choices DESIGN.md calls out.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace minnow;
+using namespace minnow::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    BenchArgs args = parseArgs(opts, 1.0, 16);
+    std::string workload = opts.getString("workload", "sssp");
+    opts.rejectUnused();
+
+    banner("Ablation: Minnow structure sizing (" + workload + ", " +
+               std::to_string(args.threads) + " threads)",
+           "");
+
+    {
+        std::printf("\n--- local queue depth ---\n");
+        TextTable t;
+        t.header({"localQ", "cycles", "deq-blocks", "spills"});
+        for (std::uint32_t lq : {8u, 16u, 32u, 64u, 128u}) {
+            harness::Workload w = harness::makeWorkload(
+                workload, args.scale, args.seed);
+            BenchArgs a = args;
+            a.machine.minnow.localQueueEntries = lq;
+            a.machine.minnow.refillThreshold =
+                std::max(2u, lq / 4);
+            auto r = run(w, harness::Config::MinnowPf,
+                         args.threads, a);
+            checkVerified(r, workload);
+            t.row({std::to_string(lq),
+                   cyclesOrTimeout(r.run),
+                   TextTable::count(r.engines.dequeueBlocks),
+                   TextTable::count(r.engines.spillsSpawned)});
+        }
+        t.print();
+    }
+    {
+        std::printf("\n--- load buffer entries ---\n");
+        TextTable t;
+        t.header({"loadBuf", "cycles", "lb-stalls", "mpki"});
+        for (std::uint32_t lb : {4u, 8u, 16u, 32u, 64u}) {
+            harness::Workload w = harness::makeWorkload(
+                workload, args.scale, args.seed);
+            BenchArgs a = args;
+            a.machine.minnow.loadBufferEntries = lb;
+            auto r = run(w, harness::Config::MinnowPf,
+                         args.threads, a);
+            checkVerified(r, workload);
+            t.row({std::to_string(lb), cyclesOrTimeout(r.run),
+                   TextTable::count(r.engines.loadBufStalls),
+                   TextTable::num(r.run.l2Mpki, 1)});
+        }
+        t.print();
+    }
+    {
+        std::printf("\n--- offloaded OBIM bucket interval ---\n");
+        TextTable t;
+        t.header({"lgDelta", "cycles", "tasks(work-eff)"});
+        for (std::uint32_t lg : {0u, 2u, 4u, 6u, 8u, 12u}) {
+            harness::Workload w = harness::makeWorkload(
+                workload, args.scale, args.seed);
+            w.lgDelta = lg;
+            auto r = run(w, harness::Config::MinnowPf,
+                         args.threads, args);
+            checkVerified(r, workload);
+            t.row({std::to_string(lg), cyclesOrTimeout(r.run),
+                   TextTable::count(r.run.tasks)});
+        }
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared driver code for the per-figure/table bench binaries.
+ *
+ * Every bench accepts:
+ *   --scale=<f>     input scale factor (default per bench)
+ *   --threads=<n>   worker count for the headline runs
+ *   --workloads=a,b comma list (default: all seven)
+ *   --seed=<n>      generator seed
+ *   --max-events=<n> timeout knob
+ * plus the machine overrides understood by
+ * MachineConfig::applyOptions (--rob=, --credits=, --mem-channels=,
+ * ...).
+ *
+ * Output convention: each bench prints the paper's rows/series as a
+ * fixed-width table, with the paper's published value alongside where
+ * one exists, so shape comparisons are one glance.
+ */
+
+#ifndef MINNOW_BENCH_BENCH_COMMON_HH
+#define MINNOW_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/options.hh"
+#include "base/trace.hh"
+#include "base/table.hh"
+#include "harness/workloads.hh"
+
+namespace minnow::bench
+{
+
+/** Parsed common flags. */
+struct BenchArgs
+{
+    double scale = 1.0;
+    std::uint32_t threads = 64;
+    std::uint64_t seed = 1;
+    std::uint64_t maxEvents = 400'000'000;
+    std::vector<std::string> workloads;
+    std::string statsDir; //!< dump per-run .stats files here.
+    MachineConfig machine;
+
+    BenchArgs() : machine(scaledMachine()) {}
+};
+
+/** Parse common flags; @p defaultScale tunes per-bench run time. */
+inline BenchArgs
+parseArgs(const Options &opts, double defaultScale = 1.0,
+          std::uint32_t defaultThreads = 64)
+{
+    BenchArgs a;
+    a.scale = opts.getDouble("scale", defaultScale);
+    a.threads =
+        std::uint32_t(opts.getUint("threads", defaultThreads));
+    a.seed = opts.getUint("seed", 1);
+    a.maxEvents = opts.getUint("max-events", a.maxEvents);
+    trace::enableList(opts.getString("debug-flags", ""));
+    a.statsDir = opts.getString("stats-dir", "");
+    a.machine.applyOptions(opts);
+    if (a.machine.numCores < a.threads)
+        a.machine.numCores = a.threads;
+
+    std::string list = opts.getString("workloads", "");
+    if (list.empty()) {
+        a.workloads = harness::workloadNames();
+    } else {
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+            std::size_t comma = list.find(',', pos);
+            a.workloads.push_back(list.substr(
+                pos, comma == std::string::npos ? comma
+                                                : comma - pos));
+            pos = comma == std::string::npos ? comma : comma + 1;
+        }
+    }
+    return a;
+}
+
+/** Run one workload/config and return the result (fresh machine). */
+inline harness::ExperimentResult
+run(harness::Workload &w, harness::Config config,
+    std::uint32_t threads, const BenchArgs &a, bool verify = true)
+{
+    harness::RunSpec spec;
+    spec.config = config;
+    spec.threads = threads;
+    spec.machine = a.machine;
+    spec.verify = verify;
+    spec.maxEvents = a.maxEvents;
+    harness::ExperimentResult r = harness::runExperiment(w, spec);
+    if (!a.statsDir.empty()) {
+        std::string path = a.statsDir + "/" + w.name + "-" +
+                           harness::configName(config) + "-t" +
+                           std::to_string(threads) + ".stats";
+        if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+            r.run.report.dump(f);
+            std::fclose(f);
+        }
+    }
+    return r;
+}
+
+/** "12.34" or "TIMEOUT". */
+inline std::string
+cyclesOrTimeout(const galois::RunResult &r, double norm = 1.0)
+{
+    if (r.timedOut)
+        return "TIMEOUT";
+    return TextTable::num(double(r.cycles) / norm, 2);
+}
+
+/** Header banner naming the figure/table reproduced. */
+inline void
+banner(const std::string &what, const std::string &paperNote)
+{
+    std::printf("=== %s ===\n", what.c_str());
+    if (!paperNote.empty())
+        std::printf("paper: %s\n", paperNote.c_str());
+}
+
+/** Warn loudly if a run failed verification. */
+inline void
+checkVerified(const harness::ExperimentResult &r,
+              const std::string &label)
+{
+    if (!r.run.timedOut && !r.run.verified) {
+        std::fprintf(stderr,
+                     "WARNING: %s failed output verification\n",
+                     label.c_str());
+    }
+}
+
+} // namespace minnow::bench
+
+#endif // MINNOW_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared prefetch-credit sweep used by Figs. 18 (L2 MPKI), 19
+ * (speedup) and 20 (prefetch efficiency). One sweep produces all
+ * three metrics; each bench binary prints its own figure.
+ */
+
+#ifndef MINNOW_BENCH_CREDIT_SWEEP_HH
+#define MINNOW_BENCH_CREDIT_SWEEP_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace minnow::bench
+{
+
+/** Metrics captured at one credit count. */
+struct CreditPoint
+{
+    std::uint32_t credits = 0;
+    double mpki = 0;
+    double speedup = 0;     //!< vs Minnow with prefetching off.
+    double efficiency = 0;  //!< used / fills.
+    bool timedOut = false;
+};
+
+/** Per-workload sweep results (plus the prefetch-off baseline). */
+struct CreditSweep
+{
+    std::string workload;
+    double baseMpki = 0;
+    std::vector<CreditPoint> points;
+};
+
+inline std::vector<std::uint32_t>
+defaultCredits()
+{
+    return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+/** Run the sweep for one workload. */
+inline CreditSweep
+sweepCredits(const std::string &name, const BenchArgs &args,
+             const std::vector<std::uint32_t> &credits)
+{
+    CreditSweep out;
+    out.workload = name;
+    harness::Workload w =
+        harness::makeWorkload(name, args.scale, args.seed);
+
+    auto base =
+        run(w, harness::Config::Minnow, args.threads, args);
+    checkVerified(base, name + "/minnow");
+    out.baseMpki = base.run.l2Mpki;
+    double baseCycles = double(base.run.cycles);
+
+    for (std::uint32_t c : credits) {
+        BenchArgs a = args;
+        a.machine.minnow.prefetchCredits = c;
+        auto r =
+            run(w, harness::Config::MinnowPf, args.threads, a);
+        checkVerified(r, name + "/credits" + std::to_string(c));
+        CreditPoint p;
+        p.credits = c;
+        p.timedOut = r.run.timedOut || base.run.timedOut;
+        if (!p.timedOut) {
+            p.mpki = r.run.l2Mpki;
+            p.speedup = baseCycles / double(r.run.cycles);
+            std::uint64_t fills = r.run.mem.prefetchFills;
+            p.efficiency =
+                fills ? 100.0 * double(r.run.mem.prefetchUsed) /
+                            double(fills)
+                      : 0.0;
+        }
+        out.points.push_back(p);
+    }
+    return out;
+}
+
+} // namespace minnow::bench
+
+#endif // MINNOW_BENCH_CREDIT_SWEEP_HH

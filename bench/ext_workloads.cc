@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension study (paper conclusion: "extending Minnow to
+ * accelerate other classes of irregular workloads"): maximal
+ * independent set and k-core decomposition under the same
+ * configurations as Fig. 16.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace minnow;
+using namespace minnow::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    BenchArgs args = parseArgs(opts, 2.0, 64);
+    opts.rejectUnused();
+
+    banner("Extension workloads under Minnow (" +
+               std::to_string(args.threads) + " threads)",
+           "beyond the paper: MIS (dataflow greedy) and k-core"
+           " peeling");
+
+    TextTable table;
+    table.header({"workload", "galois(cyc)", "minnow(cyc)",
+                  "minnow+pf(cyc)", "speedup", "speedup+pf",
+                  "verified"});
+    for (const char *name : {"mis", "kcore"}) {
+        harness::Workload w =
+            harness::makeWorkload(name, args.scale, args.seed);
+        auto base =
+            run(w, harness::Config::Obim, args.threads, args);
+        auto mn =
+            run(w, harness::Config::Minnow, args.threads, args);
+        auto pf =
+            run(w, harness::Config::MinnowPf, args.threads, args);
+        bool ok = base.run.verified && mn.run.verified &&
+                  pf.run.verified;
+        double s1 = mn.run.timedOut
+                        ? 0
+                        : double(base.run.cycles) / mn.run.cycles;
+        double s2 = pf.run.timedOut
+                        ? 0
+                        : double(base.run.cycles) / pf.run.cycles;
+        table.row({w.name, cyclesOrTimeout(base.run),
+                   cyclesOrTimeout(mn.run), cyclesOrTimeout(pf.run),
+                   TextTable::num(s1, 2) + "x",
+                   TextTable::num(s2, 2) + "x", ok ? "yes" : "NO"});
+    }
+    table.print();
+    return 0;
+}

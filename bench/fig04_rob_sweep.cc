@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 4: benchmark sensitivity to ROB size. Sweeps the reorder
+ * buffer (scaling RS/LQ/SQ with the same ratios, per the paper) in
+ * three modes: realistic (TAGE-like branches + x86-TSO fences),
+ * perfect branch prediction, and perfect branches + no fences.
+ * Speedup is normalized to the 256-entry realistic configuration.
+ *
+ * Paper conclusion: realistic speedup past 256 entries is minimal;
+ * remove the serializing events and ROB scaling works again (PR up
+ * to 5x once fences go).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace minnow;
+using namespace minnow::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    BenchArgs args = parseArgs(opts, 1.0, 16);
+    opts.rejectUnused();
+
+    const std::vector<std::uint32_t> robs = {64, 128, 256, 512,
+                                             1024};
+    banner("Fig. 4: speedup vs ROB size (normalized to 256-entry"
+           " realistic)",
+           "realistic curve flat past 256; ideal (perfect branch,"
+           " no fence) keeps scaling");
+
+    for (const std::string &name : args.workloads) {
+        harness::Workload w =
+            harness::makeWorkload(name, args.scale, args.seed);
+        std::printf("\n-- %s --\n", name.c_str());
+        TextTable table;
+        table.header({"rob", "realistic", "perfect-branch",
+                      "ideal(nofence)"});
+
+        // Normalization run: 256-entry realistic.
+        double norm = 0;
+        std::vector<std::vector<double>> cols(
+            3, std::vector<double>(robs.size(), 0));
+        for (int mode = 0; mode < 3; ++mode) {
+            for (std::size_t i = 0; i < robs.size(); ++i) {
+                BenchArgs a = args;
+                a.machine.core.robEntries = robs[i];
+                a.machine.core.rsEntries =
+                    std::max(8u, robs[i] * 97 / 224);
+                a.machine.core.lqEntries =
+                    std::max(8u, robs[i] * 72 / 224);
+                a.machine.core.sqEntries =
+                    std::max(8u, robs[i] * 56 / 224);
+                a.machine.core.perfectBranches = mode >= 1;
+                a.machine.core.atomicFences = mode < 2;
+                auto r = run(w, harness::Config::Obim,
+                             args.threads, a);
+                checkVerified(r, name + "/rob" +
+                                     std::to_string(robs[i]));
+                cols[mode][i] =
+                    r.run.timedOut ? 0 : double(r.run.cycles);
+                if (mode == 0 && robs[i] == 256)
+                    norm = cols[mode][i];
+            }
+        }
+        for (std::size_t i = 0; i < robs.size(); ++i) {
+            auto cell = [&](double v) {
+                if (v == 0)
+                    return std::string("TIMEOUT");
+                return TextTable::num(norm / v, 2) + "x";
+            };
+            table.row({std::to_string(robs[i]), cell(cols[0][i]),
+                       cell(cols[1][i]), cell(cols[2][i])});
+        }
+        table.print();
+    }
+    return 0;
+}

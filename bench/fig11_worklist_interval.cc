@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 11: average cycles between worklist enqueue/dequeue
+ * operations per core. The paper uses this (ops once every few
+ * hundred cycles) to argue the Minnow engine front-end does not
+ * need an aggressive design.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace minnow;
+using namespace minnow::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    BenchArgs args = parseArgs(opts, 2.0, 64);
+    opts.rejectUnused();
+
+    banner("Fig. 11: average cycles per worklist enq/deq operation",
+           "hundreds of cycles between accelerator calls");
+
+    TextTable table;
+    table.header({"workload", "pushes", "pops", "core-cycles",
+                  "cycles/op"});
+    for (const std::string &name : args.workloads) {
+        harness::Workload w =
+            harness::makeWorkload(name, args.scale, args.seed);
+        auto r = run(w, harness::Config::Minnow, args.threads,
+                     args);
+        checkVerified(r, name);
+        if (r.run.timedOut) {
+            table.row({w.name, "TIMEOUT", "", "", ""});
+            continue;
+        }
+        std::uint64_t ops =
+            r.engines.enqueues + r.engines.dequeues;
+        double coreCycles =
+            double(r.run.cycles) * args.threads;
+        table.row({w.name, TextTable::count(r.engines.enqueues),
+                   TextTable::count(r.engines.dequeues),
+                   TextTable::count(r.run.cycles),
+                   ops ? TextTable::num(coreCycles / ops, 0)
+                       : "-"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 15: Galois scalability 1..64 threads with and without Minnow
+ * (prefetching disabled to isolate worklist offload), relative to
+ * the optimized serial baseline (Galois with atomics removed).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace minnow;
+using namespace minnow::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    BenchArgs args = parseArgs(opts, 2.0, 64);
+    opts.rejectUnused();
+
+    const std::vector<std::uint32_t> threads = {1, 2, 4, 8,
+                                                16, 32, 64};
+    banner("Fig. 15: scalability vs optimized serial baseline",
+           "Galois scales to ~32 threads then flattens; CC slows"
+           " past 16; Minnow keeps scaling");
+
+    for (const std::string &name : args.workloads) {
+        harness::Workload w =
+            harness::makeWorkload(name, args.scale, args.seed);
+        auto serial = run(w, harness::Config::SerialRelaxed, 1,
+                          args);
+        checkVerified(serial, name + "/serial");
+        double norm = double(serial.run.cycles);
+
+        std::printf("\n-- %s (serial baseline %s cycles) --\n",
+                    name.c_str(),
+                    TextTable::count(serial.run.cycles).c_str());
+        TextTable table;
+        table.header({"threads", "galois", "minnow"});
+        for (std::uint32_t t : threads) {
+            if (t > args.threads)
+                break;
+            auto sw = run(w, harness::Config::Obim, t, args);
+            checkVerified(sw, name + "/obim");
+            auto hw = run(w, harness::Config::Minnow, t, args);
+            checkVerified(hw, name + "/minnow");
+            auto cell = [&](const harness::ExperimentResult &r) {
+                if (r.run.timedOut)
+                    return std::string("TIMEOUT");
+                return TextTable::num(norm / double(r.run.cycles),
+                                      2) +
+                       "x";
+            };
+            table.row({std::to_string(t), cell(sw), cell(hw)});
+        }
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 21: 64-thread speedup vs number of DRAM channels (relative
+ * to the 12-channel configuration), with and without
+ * worklist-directed prefetching. Paper shape: without prefetching,
+ * workloads are latency-bound — only dropping below ~4 channels
+ * hurts; with prefetching, Minnow converts several workloads to
+ * bandwidth-bound (sensitive across the sweep); TC (in-LLC input)
+ * is insensitive throughout.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace minnow;
+using namespace minnow::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    BenchArgs args = parseArgs(opts, 2.0, 64);
+    opts.rejectUnused();
+
+    const std::vector<std::uint32_t> channels = {1, 2, 4, 8, 12};
+    banner("Fig. 21: speedup vs memory channels (normalized to 12"
+           " channels)",
+           "latency-bound without prefetch (flat to ~4ch);"
+           " bandwidth-bound with prefetch; TC insensitive");
+
+    for (const std::string &name : args.workloads) {
+        harness::Workload w =
+            harness::makeWorkload(name, args.scale, args.seed);
+        std::printf("\n-- %s --\n", name.c_str());
+        TextTable table;
+        table.header({"channels", "minnow", "minnow+pf"});
+        double norm[2] = {0, 0};
+        std::vector<std::array<double, 2>> rows;
+        for (std::uint32_t ch : channels) {
+            BenchArgs a = args;
+            a.machine.dram.channels = ch;
+            auto off =
+                run(w, harness::Config::Minnow, args.threads, a);
+            auto on =
+                run(w, harness::Config::MinnowPf, args.threads, a);
+            checkVerified(off, name);
+            checkVerified(on, name);
+            double c0 = off.run.timedOut ? 0 : double(off.run.cycles);
+            double c1 = on.run.timedOut ? 0 : double(on.run.cycles);
+            rows.push_back({c0, c1});
+            if (ch == 12) {
+                norm[0] = c0;
+                norm[1] = c1;
+            }
+        }
+        for (std::size_t i = 0; i < channels.size(); ++i) {
+            auto cell = [&](double v, double n) {
+                if (v == 0 || n == 0)
+                    return std::string("T/O");
+                return TextTable::num(n / v, 2) + "x";
+            };
+            table.row({std::to_string(channels[i]),
+                       cell(rows[i][0], norm[0]),
+                       cell(rows[i][1], norm[1])});
+        }
+        table.print();
+    }
+    return 0;
+}

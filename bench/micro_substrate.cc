@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate
+ * itself: event queue throughput, cache lookup/fill, NoC traversal,
+ * DRAM booking, and the OOO core per-op cost. These bound the
+ * simulator's host-side performance (how many simulated memory ops
+ * per wall-second the experiment harness can drive).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/ooo_core.hh"
+#include "mem/cache.hh"
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+using namespace minnow;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            eq.schedule(eq.now() + std::uint64_t(i % 7),
+                        [](void *p) {
+                            ++*static_cast<std::uint64_t *>(p);
+                        },
+                        &sink);
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    mem::CacheArray cache(CacheParams{64 * 1024, 8, 4});
+    mem::Eviction ev;
+    for (Addr a = 0; a < 512; ++a)
+        cache.fill(a, false, ev);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(a % 512));
+        ++a;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_MemorySystemAccess(benchmark::State &state)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = 8;
+    mem::MemorySystem ms(cfg);
+    Addr a = 0x100000;
+    Cycle t = 0;
+    for (auto _ : state) {
+        mem::MemAccess req;
+        req.addr = a;
+        req.core = CoreId(a / 64 % 8);
+        req.when = t;
+        auto r = ms.access(req);
+        benchmark::DoNotOptimize(r);
+        a += 64;
+        t += 2;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemorySystemAccess);
+
+void
+BM_OooCoreLoad(benchmark::State &state)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = 2;
+    mem::MemorySystem ms(cfg);
+    cpu::OooCore core(0, cfg.core, &ms, 1);
+    Addr a = 0x100000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core.load(a));
+        a += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OooCoreLoad);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+#include "apps/bc.hh"
+
+#include <deque>
+#include <numeric>
+
+namespace minnow::apps
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+void
+BcApp::reset()
+{
+    color_.assign(graph_->numNodes(), kUncolored);
+    conflict_ = false;
+    resetCounters();
+}
+
+std::vector<WorkItem>
+BcApp::initialWork()
+{
+    // One seed per connected component (host union-find pre-pass);
+    // the seed takes colour 0.
+    const graph::CsrGraph &g = *graph_;
+    std::vector<NodeId> parent(g.numNodes());
+    std::iota(parent.begin(), parent.end(), NodeId(0));
+    auto find = [&](NodeId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (NodeId u : g.neighbors(v)) {
+            NodeId a = find(v), b = find(u);
+            if (a != b)
+                parent[std::max(a, b)] = std::min(a, b);
+        }
+    }
+    std::vector<WorkItem> out;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (find(v) == v) {
+            color_[v] = 0;
+            seedNode(out, v, 0);
+        }
+    }
+    return out;
+}
+
+CoTask<void>
+BcApp::process(SimContext &ctx, WorkItem item, TaskSink &sink)
+{
+    const graph::CsrGraph &g = *graph_;
+    NodeId v = taskNode(item.payload);
+    counters_.tasks += 1;
+
+    Cycle nodeReady =
+        ctx.loadDelinquent(g.nodeAddr(v), 0, kSiteNode);
+    ctx.cheapLoads(5);
+    ctx.compute(4);
+    std::uint8_t mine = color_[v];
+    std::uint8_t want = std::uint8_t(1 - mine);
+
+    EdgeId begin, end;
+    taskEdgeRange(item.payload, begin, end);
+    for (EdgeId e = begin; e < end; ++e) {
+        counters_.edgesVisited += 1;
+        NodeId u = g.edgeDst(e);
+        Cycle edgeReady = ctx.loadDelinquent(
+            g.edgeAddr(e), nodeReady, kSiteEdge, u, true);
+        Cycle dstReady = ctx.loadDelinquent(g.nodeAddr(u), edgeReady,
+                                            kSiteDstNode);
+        ctx.cheapLoads(7);
+        ctx.compute(3);
+
+        ctx.branch(cpu::BranchKind::DataDependent, dstReady);
+        if (color_[u] == kUncolored) {
+            // CAS the neighbour's colour; only the winner pushes.
+            co_await ctx.atomicAccess(g.nodeAddr(u), dstReady);
+            if (color_[u] == kUncolored) {
+                color_[u] = want;
+                counters_.updates += 1;
+                co_await pushNode(ctx, sink, u, 0);
+            } else if (color_[u] != want) {
+                conflict_ = true;
+            }
+        } else if (color_[u] != want) {
+            conflict_ = true;
+        }
+        ctx.branch(cpu::BranchKind::Loop, 0);
+        co_await ctx.sync();
+    }
+}
+
+bool
+BcApp::referenceIsBipartite() const
+{
+    const graph::CsrGraph &g = *graph_;
+    std::vector<std::uint8_t> color(g.numNodes(), kUncolored);
+    std::deque<NodeId> queue;
+    for (NodeId s = 0; s < g.numNodes(); ++s) {
+        if (color[s] != kUncolored)
+            continue;
+        color[s] = 0;
+        queue.push_back(s);
+        while (!queue.empty()) {
+            NodeId v = queue.front();
+            queue.pop_front();
+            for (NodeId u : g.neighbors(v)) {
+                if (color[u] == kUncolored) {
+                    color[u] = std::uint8_t(1 - color[v]);
+                    queue.push_back(u);
+                } else if (color[u] == color[v]) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool
+BcApp::verify() const
+{
+    bool bipartite = referenceIsBipartite();
+    if (!bipartite)
+        return conflict_; // we must have noticed the odd cycle.
+    if (conflict_)
+        return false; // false positive.
+    // Every node coloured, and the colouring must be proper.
+    const graph::CsrGraph &g = *graph_;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (color_[v] == kUncolored)
+            return false;
+        for (NodeId u : g.neighbors(v)) {
+            if (color_[u] == color_[v])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace minnow::apps

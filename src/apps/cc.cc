@@ -1,0 +1,101 @@
+#include "apps/cc.hh"
+
+#include <numeric>
+
+namespace minnow::apps
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+void
+CcApp::reset()
+{
+    label_.resize(graph_->numNodes());
+    std::iota(label_.begin(), label_.end(), NodeId(0));
+    resetCounters();
+}
+
+std::vector<WorkItem>
+CcApp::initialWork()
+{
+    // Every node starts active with its own id as label/priority.
+    std::vector<WorkItem> out;
+    out.reserve(graph_->numNodes());
+    for (NodeId v = 0; v < graph_->numNodes(); ++v)
+        seedNode(out, v, std::int64_t(v));
+    return out;
+}
+
+CoTask<void>
+CcApp::process(SimContext &ctx, WorkItem item, TaskSink &sink)
+{
+    const graph::CsrGraph &g = *graph_;
+    NodeId v = taskNode(item.payload);
+    counters_.tasks += 1;
+
+    Cycle nodeReady =
+        ctx.loadDelinquent(g.nodeAddr(v), 0, kSiteNode);
+    ctx.cheapLoads(5);
+    ctx.compute(4);
+    NodeId mine = label_[v];
+
+    EdgeId begin, end;
+    taskEdgeRange(item.payload, begin, end);
+    for (EdgeId e = begin; e < end; ++e) {
+        counters_.edgesVisited += 1;
+        NodeId u = g.edgeDst(e);
+        Cycle edgeReady = ctx.loadDelinquent(
+            g.edgeAddr(e), nodeReady, kSiteEdge, u, true);
+        Cycle dstReady = ctx.loadDelinquent(g.nodeAddr(u), edgeReady,
+                                            kSiteDstNode);
+        ctx.cheapLoads(7);
+        ctx.compute(3);
+
+        ctx.branch(cpu::BranchKind::DataDependent, dstReady);
+        if (mine < label_[u]) {
+            co_await ctx.atomicAccess(g.nodeAddr(u), dstReady);
+            if (mine < label_[u]) {
+                label_[u] = mine;
+                counters_.updates += 1;
+                co_await pushNode(ctx, sink, u, std::int64_t(mine));
+            }
+        }
+        ctx.branch(cpu::BranchKind::Loop, 0);
+        co_await ctx.sync();
+    }
+}
+
+std::vector<NodeId>
+CcApp::referenceLabels() const
+{
+    const graph::CsrGraph &g = *graph_;
+    std::vector<NodeId> parent(g.numNodes());
+    std::iota(parent.begin(), parent.end(), NodeId(0));
+    auto find = [&](NodeId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (NodeId u : g.neighbors(v)) {
+            NodeId a = find(v), b = find(u);
+            if (a != b)
+                parent[std::max(a, b)] = std::min(a, b);
+        }
+    }
+    std::vector<NodeId> out(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        out[v] = find(v);
+    return out;
+}
+
+bool
+CcApp::verify() const
+{
+    return label_ == referenceLabels();
+}
+
+} // namespace minnow::apps

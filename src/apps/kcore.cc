@@ -1,0 +1,127 @@
+#include "apps/kcore.hh"
+
+#include <deque>
+
+namespace minnow::apps
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+void
+KcoreApp::reset()
+{
+    const graph::CsrGraph &g = *graph_;
+    alive_.assign(g.numNodes(), 1);
+    degree_.resize(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        degree_[v] = g.degree(v);
+    resetCounters();
+}
+
+std::vector<WorkItem>
+KcoreApp::initialWork()
+{
+    // Seed with every node already below k: removing them starts
+    // the peeling cascade. Mark them dead up front so each node is
+    // removed exactly once.
+    std::vector<WorkItem> out;
+    for (NodeId v = 0; v < graph_->numNodes(); ++v) {
+        if (degree_[v] < k_) {
+            alive_[v] = 0;
+            seedNode(out, v, std::int64_t(degree_[v]));
+        }
+    }
+    return out;
+}
+
+CoTask<void>
+KcoreApp::process(SimContext &ctx, WorkItem item, TaskSink &sink)
+{
+    const graph::CsrGraph &g = *graph_;
+    NodeId v = taskNode(item.payload);
+    counters_.tasks += 1;
+
+    // v is being removed: decrement every alive neighbour; those
+    // that drop below k are removed (marked dead at the decrement,
+    // processed by their own task).
+    Cycle nodeReady =
+        ctx.loadDelinquent(g.nodeAddr(v), 0, kSiteNode);
+    ctx.cheapLoads(5);
+    ctx.compute(4);
+
+    EdgeId begin, end;
+    taskEdgeRange(item.payload, begin, end);
+    for (EdgeId e = begin; e < end; ++e) {
+        counters_.edgesVisited += 1;
+        NodeId u = g.edgeDst(e);
+        Cycle edgeReady = ctx.loadDelinquent(
+            g.edgeAddr(e), nodeReady, kSiteEdge, u, true);
+        Cycle dstReady = ctx.loadDelinquent(g.nodeAddr(u), edgeReady,
+                                            kSiteDstNode);
+        ctx.cheapLoads(7);
+        ctx.compute(3);
+        ctx.branch(cpu::BranchKind::DataDependent, dstReady);
+        if (!alive_[u])
+            continue;
+        co_await ctx.atomicAccess(g.nodeAddr(u), dstReady);
+        if (!alive_[u])
+            continue; // raced with another removal.
+        degree_[u] -= 1;
+        counters_.updates += 1;
+        ctx.branch(cpu::BranchKind::DataDependent, 0);
+        if (degree_[u] < k_) {
+            alive_[u] = 0;
+            co_await pushNode(ctx, sink, u,
+                              std::int64_t(degree_[u]));
+        }
+        ctx.branch(cpu::BranchKind::Loop, 0);
+        co_await ctx.sync();
+    }
+}
+
+std::vector<std::uint8_t>
+KcoreApp::referenceCore() const
+{
+    const graph::CsrGraph &g = *graph_;
+    std::vector<std::uint8_t> alive(g.numNodes(), 1);
+    std::vector<std::uint32_t> deg(g.numNodes());
+    std::deque<NodeId> queue;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        deg[v] = g.degree(v);
+        if (deg[v] < k_) {
+            alive[v] = 0;
+            queue.push_back(v);
+        }
+    }
+    while (!queue.empty()) {
+        NodeId v = queue.front();
+        queue.pop_front();
+        for (NodeId u : g.neighbors(v)) {
+            if (!alive[u])
+                continue;
+            if (--deg[u] < k_) {
+                alive[u] = 0;
+                queue.push_back(u);
+            }
+        }
+    }
+    return alive;
+}
+
+std::uint64_t
+KcoreApp::coreSize() const
+{
+    std::uint64_t n = 0;
+    for (std::uint8_t b : alive_)
+        n += b;
+    return n;
+}
+
+bool
+KcoreApp::verify() const
+{
+    return alive_ == referenceCore();
+}
+
+} // namespace minnow::apps

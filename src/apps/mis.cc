@@ -1,0 +1,119 @@
+#include "apps/mis.hh"
+
+namespace minnow::apps
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+void
+MisApp::reset()
+{
+    const graph::CsrGraph &g = *graph_;
+    in_.assign(g.numNodes(), 0);
+    blocked_.assign(g.numNodes(), 0);
+    waits_.resize(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        std::uint32_t w = 0;
+        for (NodeId u : g.neighbors(v))
+            w += (u < v);
+        waits_[v] = w;
+    }
+    resetCounters();
+}
+
+std::vector<WorkItem>
+MisApp::initialWork()
+{
+    // Nodes with no lower-id neighbours can decide immediately.
+    std::vector<WorkItem> out;
+    for (NodeId v = 0; v < graph_->numNodes(); ++v) {
+        if (waits_[v] == 0)
+            seedNode(out, v, std::int64_t(v));
+    }
+    return out;
+}
+
+CoTask<void>
+MisApp::process(SimContext &ctx, WorkItem item, TaskSink &sink)
+{
+    const graph::CsrGraph &g = *graph_;
+    NodeId v = taskNode(item.payload);
+    counters_.tasks += 1;
+
+    // A task for v fires only when all lower neighbours decided:
+    // decide v, then release higher neighbours.
+    Cycle nodeReady =
+        ctx.loadDelinquent(g.nodeAddr(v), 0, kSiteNode);
+    ctx.cheapLoads(5);
+    ctx.compute(4);
+    bool joins = !blocked_[v];
+    if (taskPart(item.payload) == 0) {
+        // Only the first part performs the decision itself.
+        in_[v] = joins ? 1 : 0;
+        counters_.updates += 1;
+        ctx.store(g.nodeAddr(v), nodeReady);
+    }
+
+    EdgeId begin, end;
+    taskEdgeRange(item.payload, begin, end);
+    for (EdgeId e = begin; e < end; ++e) {
+        counters_.edgesVisited += 1;
+        NodeId u = g.edgeDst(e);
+        Cycle edgeReady = ctx.loadDelinquent(
+            g.edgeAddr(e), nodeReady, kSiteEdge, u, true);
+        ctx.branch(cpu::BranchKind::DataDependent, edgeReady);
+        if (u <= v)
+            continue; // lower neighbours already decided.
+        Cycle dstReady = ctx.loadDelinquent(g.nodeAddr(u), edgeReady,
+                                            kSiteDstNode);
+        ctx.cheapLoads(7);
+        ctx.compute(4);
+        // Mark and release: blocked bit (if we joined) and the
+        // wait-count decrement are one RMW on u's node record.
+        co_await ctx.atomicAccess(g.nodeAddr(u), dstReady);
+        if (joins)
+            blocked_[u] = 1;
+        waits_[u] -= 1;
+        ctx.branch(cpu::BranchKind::DataDependent, 0);
+        if (waits_[u] == 0)
+            co_await pushNode(ctx, sink, u, std::int64_t(u));
+        ctx.branch(cpu::BranchKind::Loop, 0);
+        co_await ctx.sync();
+    }
+}
+
+std::vector<std::uint8_t>
+MisApp::referenceSet() const
+{
+    const graph::CsrGraph &g = *graph_;
+    std::vector<std::uint8_t> in(g.numNodes(), 0);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        bool ok = true;
+        for (NodeId u : g.neighbors(v)) {
+            if (u < v && in[u]) {
+                ok = false;
+                break;
+            }
+        }
+        in[v] = ok ? 1 : 0;
+    }
+    return in;
+}
+
+std::uint64_t
+MisApp::setSize() const
+{
+    std::uint64_t n = 0;
+    for (std::uint8_t b : in_)
+        n += b;
+    return n;
+}
+
+bool
+MisApp::verify() const
+{
+    return in_ == referenceSet();
+}
+
+} // namespace minnow::apps

@@ -1,0 +1,116 @@
+#include "apps/sssp.hh"
+
+#include <queue>
+
+namespace minnow::apps
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+void
+SsspApp::reset()
+{
+    dist_.assign(graph_->numNodes(), kInf);
+    dist_[source_] = 0;
+    resetCounters();
+}
+
+std::vector<WorkItem>
+SsspApp::initialWork()
+{
+    std::vector<WorkItem> out;
+    seedNode(out, source_, 0);
+    return out;
+}
+
+CoTask<void>
+SsspApp::process(SimContext &ctx, WorkItem item, TaskSink &sink)
+{
+    const graph::CsrGraph &g = *graph_;
+    NodeId v = taskNode(item.payload);
+    counters_.tasks += 1;
+
+    // Load the node record: current distance + edge metadata.
+    Cycle nodeReady =
+        ctx.loadDelinquent(g.nodeAddr(v), 0, kSiteNode);
+    ctx.cheapLoads(5); // task bookkeeping, stack traffic.
+    ctx.compute(6);
+    std::uint32_t dist = dist_[v];
+
+    // Stale-task cutoff: if our scheduled priority is already worse
+    // than the node's distance, the work was superseded.
+    ctx.branch(cpu::BranchKind::DataDependent, nodeReady);
+    if (std::uint64_t(item.priority) > dist && dist != kInf) {
+        co_await ctx.sync();
+        co_return;
+    }
+
+    EdgeId begin, end;
+    taskEdgeRange(item.payload, begin, end);
+    for (EdgeId e = begin; e < end; ++e) {
+        counters_.edgesVisited += 1;
+        // Edge record: destination id + weight. Carries the value
+        // the IMP prefetcher trains on.
+        NodeId u = g.edgeDst(e);
+        Cycle edgeReady = ctx.loadDelinquent(
+            g.edgeAddr(e), nodeReady, kSiteEdge, u, true);
+        std::uint32_t w = unitWeights_ ? 1 : g.edgeWeight(e);
+        // Destination node record (distance lives inside it).
+        Cycle dstReady = ctx.loadDelinquent(g.nodeAddr(u), edgeReady,
+                                            kSiteDstNode);
+        ctx.cheapLoads(8); // induction, spills, two-operand temps.
+        ctx.compute(5);
+        std::uint32_t nd = dist + w;
+
+        ctx.branch(cpu::BranchKind::DataDependent, dstReady);
+        if (nd < dist_[u]) {
+            // Atomic min on the destination's node record. The
+            // functional update happens at the linearization point
+            // (resume at RMW completion) and must be re-checked.
+            co_await ctx.atomicAccess(g.nodeAddr(u), dstReady);
+            if (nd < dist_[u]) {
+                dist_[u] = nd;
+                counters_.updates += 1;
+                co_await pushNode(ctx, sink, u, std::int64_t(nd));
+            }
+        }
+        ctx.branch(cpu::BranchKind::Loop, 0);
+        co_await ctx.sync();
+    }
+}
+
+std::vector<std::uint32_t>
+SsspApp::referenceDistances() const
+{
+    const graph::CsrGraph &g = *graph_;
+    std::vector<std::uint32_t> dist(g.numNodes(), kInf);
+    using Entry = std::pair<std::uint32_t, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>,
+                        std::greater<>> pq;
+    dist[source_] = 0;
+    pq.push({0, source_});
+    while (!pq.empty()) {
+        auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[v])
+            continue;
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            NodeId u = g.edgeDst(e);
+            std::uint32_t w = unitWeights_ ? 1 : g.edgeWeight(e);
+            if (dist[v] + w < dist[u]) {
+                dist[u] = dist[v] + w;
+                pq.push({dist[u], u});
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+SsspApp::verify() const
+{
+    return dist_ == referenceDistances();
+}
+
+} // namespace minnow::apps

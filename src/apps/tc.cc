@@ -1,0 +1,130 @@
+#include "apps/tc.hh"
+
+#include <algorithm>
+
+#include "base/bits.hh"
+
+namespace minnow::apps
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+void
+TcApp::reset()
+{
+    triangles_ = 0;
+    resetCounters();
+}
+
+std::vector<WorkItem>
+TcApp::initialWork()
+{
+    std::vector<WorkItem> out;
+    out.reserve(graph_->numNodes());
+    for (NodeId v = 0; v < graph_->numNodes(); ++v)
+        seedNode(out, v, 0);
+    return out;
+}
+
+CoTask<void>
+TcApp::process(SimContext &ctx, WorkItem item, TaskSink &sink)
+{
+    (void)sink; // TC never generates new work.
+    const graph::CsrGraph &g = *graph_;
+    NodeId v = taskNode(item.payload);
+    counters_.tasks += 1;
+
+    Cycle nodeReady =
+        ctx.loadDelinquent(g.nodeAddr(v), 0, kSiteNode);
+    ctx.cheapLoads(5);
+    ctx.compute(4);
+
+    EdgeId begin, end;
+    taskEdgeRange(item.payload, begin, end);
+    auto vNbrs = g.neighbors(v);
+    for (EdgeId e = begin; e < end; ++e) {
+        counters_.edgesVisited += 1;
+        NodeId u = g.edgeDst(e);
+        Cycle edgeReady = ctx.loadDelinquent(
+            g.edgeAddr(e), nodeReady, kSiteEdge, u, true);
+        ctx.branch(cpu::BranchKind::DataDependent, edgeReady);
+        if (u <= v)
+            continue; // count each triangle once: v < u < w.
+
+        // Load u's node record for its adjacency bounds.
+        Cycle uReady = ctx.loadDelinquent(g.nodeAddr(u), edgeReady,
+                                          kSiteDstNode);
+        std::uint32_t uDeg = g.degree(u);
+        std::uint32_t searchSteps =
+            uDeg ? ceilLog2(std::uint64_t(uDeg) + 1) : 0;
+
+        // For every later neighbour w of v, binary-search (u, w) in
+        // u's sorted adjacency.
+        for (EdgeId e2 = e + 1; e2 < g.edgeEnd(v); ++e2) {
+            NodeId w = g.edgeDst(e2);
+            Cycle e2Ready = ctx.loadDelinquent(
+                g.edgeAddr(e2), nodeReady, kSiteEdge, w, true);
+            ctx.branch(cpu::BranchKind::DataDependent, e2Ready);
+            if (w <= u)
+                continue;
+            // Binary search: a chain of dependent probe loads into
+            // u's edge array.
+            EdgeId lo = g.edgeBegin(u), hi = g.edgeEnd(u);
+            Cycle probeReady = uReady;
+            for (std::uint32_t s = 0; s < searchSteps && lo < hi;
+                 ++s) {
+                EdgeId mid = lo + (hi - lo) / 2;
+                probeReady = ctx.loadDelinquent(
+                    g.edgeAddr(mid), probeReady, kSiteAux);
+                ctx.compute(3);
+                ctx.branch(cpu::BranchKind::DataDependent,
+                           probeReady);
+                if (g.edgeDst(mid) < w)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            ctx.cheapLoads(3);
+            ctx.compute(2);
+            if (lo < g.edgeEnd(u) && g.edgeDst(lo) == w) {
+                triangles_ += 1;
+                counters_.updates += 1;
+            }
+            co_await ctx.sync();
+        }
+        (void)vNbrs;
+        co_await ctx.sync();
+    }
+}
+
+std::uint64_t
+TcApp::referenceTriangles() const
+{
+    const graph::CsrGraph &g = *graph_;
+    std::uint64_t count = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            NodeId u = nbrs[i];
+            if (u <= v)
+                continue;
+            for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+                NodeId w = nbrs[j];
+                if (w <= u)
+                    continue;
+                if (g.hasEdge(u, w))
+                    count += 1;
+            }
+        }
+    }
+    return count;
+}
+
+bool
+TcApp::verify() const
+{
+    return triangles_ == referenceTriangles();
+}
+
+} // namespace minnow::apps

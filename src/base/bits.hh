@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and allocators.
+ */
+
+#ifndef MINNOW_BASE_BITS_HH
+#define MINNOW_BASE_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace minnow
+{
+
+/** True if x is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); x must be nonzero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/** Ceiling of log2(x); x must be nonzero. */
+constexpr std::uint32_t
+ceilLog2(std::uint64_t x)
+{
+    return x <= 1 ? 0 : floorLog2(x - 1) + 1;
+}
+
+/** Round v up to the next multiple of align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round v down to a multiple of align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/**
+ * Mix the bits of a 64-bit value (finalizer from MurmurHash3).
+ * Used to spread addresses across L3 banks and DRAM channels.
+ */
+constexpr std::uint64_t
+hashMix(std::uint64_t h)
+{
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+}
+
+} // namespace minnow
+
+#endif // MINNOW_BASE_BITS_HH

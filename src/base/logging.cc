@@ -1,0 +1,68 @@
+#include "base/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace minnow
+{
+
+namespace
+{
+
+bool warnSeen = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const char *fmt, ...)
+{
+    std::FILE *out = (level == LogLevel::Info) ? stdout : stderr;
+    if (level != LogLevel::Info)
+        std::fprintf(out, "%s: %s:%d: ", levelName(level), file, line);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+
+    switch (level) {
+      case LogLevel::Warn:
+        warnSeen = true;
+        break;
+      case LogLevel::Fatal:
+        std::exit(1);
+      case LogLevel::Panic:
+        std::abort();
+      default:
+        break;
+    }
+}
+
+bool
+warningsSeen()
+{
+    return warnSeen;
+}
+
+void
+clearWarnings()
+{
+    warnSeen = false;
+}
+
+} // namespace minnow

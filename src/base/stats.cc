@@ -1,0 +1,15 @@
+#include "base/stats.hh"
+
+#include <cstdio>
+
+namespace minnow
+{
+
+void
+StatsReport::dump(std::FILE *out) const
+{
+    for (const auto &[key, value] : values_)
+        std::fprintf(out, "%-48s %.6g\n", key.c_str(), value);
+}
+
+} // namespace minnow

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Counters are plain members of the objects they instrument; this
+ * header provides the aggregate types (scalar, average, histogram) and
+ * a registry used by the harness to dump a stats report at end of run.
+ */
+
+#ifndef MINNOW_BASE_STATS_HH
+#define MINNOW_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace minnow
+{
+
+/** Running mean/min/max over a stream of samples. */
+class StatAverage
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Power-of-two bucketed histogram for latency/size distributions. */
+class StatHistogram
+{
+  public:
+    static constexpr int kBuckets = 32;
+
+    void
+    sample(std::uint64_t v)
+    {
+        int b = 0;
+        while (b < kBuckets - 1 && (std::uint64_t(1) << b) <= v)
+            ++b;
+        buckets_[b] += 1;
+        total_ += 1;
+        sum_ += v;
+    }
+
+    std::uint64_t bucket(int i) const { return buckets_[i]; }
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? double(sum_) / total_ : 0.0; }
+
+    /** Smallest v such that at least frac of samples are <= v. */
+    std::uint64_t
+    percentile(double frac) const
+    {
+        std::uint64_t want =
+            static_cast<std::uint64_t>(frac * double(total_));
+        std::uint64_t seen = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b];
+            if (seen >= want)
+                return b == 0 ? 0 : (std::uint64_t(1) << b) - 1;
+        }
+        return ~std::uint64_t(0);
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * Flat name -> value map that components contribute into when asked to
+ * report. Keys use dotted paths, e.g. "core03.l2.missRate".
+ */
+class StatsReport
+{
+  public:
+    void
+    add(const std::string &key, double value)
+    {
+        values_[key] = value;
+    }
+
+    double
+    get(const std::string &key, double dflt = 0.0) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? dflt : it->second;
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    const std::map<std::string, double> &values() const { return values_; }
+
+    /** Write "key value" lines to the given stream-like file. */
+    void dump(std::FILE *out) const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace minnow
+
+#endif // MINNOW_BASE_STATS_HH

@@ -1,0 +1,68 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace minnow
+{
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::count(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int digits = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (digits && digits % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++digits;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::fprintf(out, "%-*s", int(widths[i]) + 2,
+                         cells[i].c_str());
+        }
+        std::fprintf(out, "\n");
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        std::string rule(total, '-');
+        std::fprintf(out, "%s\n", rule.c_str());
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    std::fflush(out);
+}
+
+} // namespace minnow

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the bench harness to emit the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef MINNOW_BASE_TABLE_HH
+#define MINNOW_BASE_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace minnow
+{
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(std::uint64_t v);
+
+    /** Print to out with a rule under the header. */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace minnow
+
+#endif // MINNOW_BASE_TABLE_HH

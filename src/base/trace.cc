@@ -1,0 +1,93 @@
+#include "base/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace minnow::trace
+{
+
+namespace
+{
+
+std::uint32_t flags = 0;
+const Cycle *cycleSource = nullptr;
+
+const std::map<std::string, Flag> &
+flagNames()
+{
+    static const std::map<std::string, Flag> names = {
+        {"Exec", Flag::Exec},         {"Cache", Flag::Cache},
+        {"Coherence", Flag::Coherence}, {"Worklist", Flag::Worklist},
+        {"Engine", Flag::Engine},     {"Threadlet", Flag::Threadlet},
+        {"Credit", Flag::Credit},     {"Monitor", Flag::Monitor},
+        {"Bsp", Flag::Bsp},
+    };
+    return names;
+}
+
+} // anonymous namespace
+
+void
+enable(const std::string &name)
+{
+    auto it = flagNames().find(name);
+    if (it == flagNames().end()) {
+        std::string known;
+        for (const auto &[n, f] : flagNames())
+            known += n + " ";
+        fatal("unknown debug flag '%s' (known: %s)", name.c_str(),
+              known.c_str());
+    }
+    flags |= 1u << std::uint32_t(it->second);
+}
+
+void
+enableList(const std::string &csv)
+{
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > pos)
+            enable(csv.substr(pos, end - pos));
+        pos = end + 1;
+    }
+}
+
+void
+clearAll()
+{
+    flags = 0;
+}
+
+bool
+enabled(Flag f)
+{
+    return flags & (1u << std::uint32_t(f));
+}
+
+void
+setCycleSource(const Cycle *now)
+{
+    cycleSource = now;
+}
+
+void
+print(Flag f, const char *component, const char *fmt, ...)
+{
+    (void)f;
+    Cycle now = cycleSource ? *cycleSource : 0;
+    std::fprintf(stderr, "%10llu: %-10s ",
+                 (unsigned long long)now, component);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace minnow::trace

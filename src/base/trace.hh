@@ -1,0 +1,73 @@
+/**
+ * @file
+ * gem5-style debug tracing.
+ *
+ * Components emit trace records through DPRINTF(Flag, fmt, ...);
+ * records are dropped unless the flag was enabled (via
+ * Trace::enable("Flag") or the --debug-flags=A,B CLI option every
+ * bench forwards). Each record is prefixed with the current
+ * simulated cycle, so interleaved component logs line up.
+ *
+ * Tracing is global state by design (like gem5): one simulation per
+ * process, and threading the tracer through every constructor would
+ * bloat every interface for a facility that is off in production.
+ */
+
+#ifndef MINNOW_BASE_TRACE_HH
+#define MINNOW_BASE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace minnow::trace
+{
+
+/** Debug flags, one bit each. */
+enum class Flag : std::uint32_t
+{
+    Exec = 0,     //!< core micro-op streams.
+    Cache = 1,    //!< hits/misses/evictions.
+    Coherence = 2, //!< invalidations, interventions.
+    Worklist = 3, //!< software worklist operations.
+    Engine = 4,   //!< Minnow engine front-end protocol.
+    Threadlet = 5, //!< threadlet spawn/retire, loads.
+    Credit = 6,   //!< prefetch credit flow.
+    Monitor = 7,  //!< work accounting + termination.
+    Bsp = 8,      //!< superstep barriers.
+};
+
+/** Enable one flag by name ("Cache", "Engine", ...); fatal on typo. */
+void enable(const std::string &name);
+
+/** Enable a comma-separated list ("Cache,Engine"). */
+void enableList(const std::string &csv);
+
+/** Disable everything (tests). */
+void clearAll();
+
+/** Is the flag on? Inline fast path for the disabled case. */
+bool enabled(Flag f);
+
+/** Set the clock used to stamp records (the machine's event queue
+ *  time, registered by Machine's constructor). */
+void setCycleSource(const Cycle *now);
+
+/** Emit one record (already filtered by the DPRINTF macro). */
+[[gnu::format(printf, 3, 4)]]
+void print(Flag f, const char *component, const char *fmt, ...);
+
+} // namespace minnow::trace
+
+/** Trace macro: no evaluation of arguments when the flag is off. */
+#define DPRINTF(flag, component, ...) \
+    do { \
+        if (::minnow::trace::enabled( \
+                ::minnow::trace::Flag::flag)) { \
+            ::minnow::trace::print(::minnow::trace::Flag::flag, \
+                                   component, __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // MINNOW_BASE_TRACE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef MINNOW_BASE_TYPES_HH
+#define MINNOW_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace minnow
+{
+
+/** A simulated physical/virtual address (the model does not page). */
+using Addr = std::uint64_t;
+
+/** A point in simulated time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A hardware context (core / worker thread) identifier. */
+using CoreId = std::uint32_t;
+
+/** Graph node identifier. */
+using NodeId = std::uint32_t;
+
+/** Graph edge index into the CSR edge array. */
+using EdgeId = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr kNullAddr = 0;
+
+/** Sentinel for "invalid node". */
+constexpr NodeId kInvalidNode = ~NodeId(0);
+
+/** Cache line size, fixed at 64 bytes throughout (paper Table 3). */
+constexpr std::uint32_t kLineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr std::uint32_t kLineShift = 6;
+
+/** Round an address down to its cache line base. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~Addr(kLineBytes - 1);
+}
+
+/** Line number (address >> 6) for map keys. */
+constexpr Addr
+lineNum(Addr a)
+{
+    return a >> kLineShift;
+}
+
+} // namespace minnow
+
+#endif // MINNOW_BASE_TYPES_HH

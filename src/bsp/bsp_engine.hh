@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bulk-synchronous vertex-program engine, standing in for GraphMat
+ * (Sundaram et al., VLDB'15) in the Figs. 2-3 comparisons.
+ *
+ * Execution model (Section 3.1): each superstep processes every
+ * active vertex in parallel over static range partitions, generates
+ * the next active set, hits a global barrier, and repeats until no
+ * vertex is active. Unordered by construction. A "bucketed" mode
+ * mirrors the GMat* kernel the GraphMat authors wrote for the paper:
+ * one full engine pass per priority bucket, giving coarse priority
+ * order at the cost of per-bucket sweep overhead.
+ *
+ * The engine reuses the simulated machine: vertices run on cores as
+ * timed micro-op streams; the barrier is a real synchronization (all
+ * workers reach it before the next superstep starts).
+ */
+
+#ifndef MINNOW_BSP_BSP_ENGINE_HH
+#define MINNOW_BSP_BSP_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/app.hh"
+#include "galois/executor.hh"
+#include "runtime/machine.hh"
+
+namespace minnow::bsp
+{
+
+/** Per-superstep statistics. */
+struct BspStats
+{
+    std::uint64_t supersteps = 0;
+    std::uint64_t vertexOps = 0;   //!< active-vertex executions.
+    std::uint64_t sweepWork = 0;   //!< active-flag scan cost proxy.
+};
+
+/** Run parameters. */
+struct BspConfig
+{
+    std::uint32_t threads = 1;
+    bool verify = true;
+
+    /**
+     * GMat* mode: process only the lowest-priority-bucket vertices
+     * per pass (one full engine invocation per bucket). 0 disables
+     * bucketing (plain unordered GraphMat).
+     */
+    std::uint32_t lgBucketInterval = 0;
+    bool bucketed = false;
+
+    std::uint64_t maxEvents = 400'000'000;
+};
+
+/**
+ * Execute @p app to convergence under the BSP model.
+ *
+ * The app's operator is reused unchanged; the engine feeds it one
+ * task per active vertex per superstep and collects newly activated
+ * vertices (the app's TaskSink pushes) into the next frontier.
+ */
+galois::RunResult runBsp(runtime::Machine &machine, apps::App &app,
+                         const BspConfig &cfg,
+                         BspStats *stats = nullptr);
+
+} // namespace minnow::bsp
+
+#endif // MINNOW_BSP_BSP_ENGINE_HH

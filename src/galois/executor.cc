@@ -1,0 +1,172 @@
+#include "galois/executor.hh"
+
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "runtime/sim_context.hh"
+#include "runtime/task.hh"
+
+namespace minnow::galois
+{
+
+using runtime::CoTask;
+using runtime::SimContext;
+
+namespace
+{
+
+/** Per-worker bookkeeping for the run. */
+struct WorkerState
+{
+    std::uint64_t pops = 0;
+};
+
+/** The worker main loop: pop - run operator - repeat - park. */
+CoTask<void>
+workerLoop(SimContext &ctx, worklist::Worklist &wl, apps::App &app,
+           WorklistSink &sink, WorkerState &state)
+{
+    for (;;) {
+        ctx.core().setPhase(cpu::Phase::Worklist);
+        worklist::WorkItem item;
+        bool got = co_await wl.pop(ctx, item);
+        if (!got) {
+            ctx.core().setPhase(cpu::Phase::Idle);
+            bool more = co_await ctx.monitor().waitForWork();
+            ctx.core().idleUntil(ctx.eq().now());
+            if (!more)
+                break;
+            continue;
+        }
+        state.pops += 1;
+        ctx.core().setPhase(cpu::Phase::App);
+        co_await app.process(ctx, item, sink);
+        co_await ctx.sync();
+    }
+    ctx.core().setPhase(cpu::Phase::Idle);
+}
+
+} // anonymous namespace
+
+RunResult
+collectResult(runtime::Machine &machine, apps::App &app,
+              std::uint32_t threads, bool timedOut,
+              std::uint64_t pops)
+{
+    RunResult r;
+    r.timedOut = timedOut;
+    r.pops = pops;
+    r.workload = app.counters();
+    r.tasks = r.workload.tasks;
+
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        const cpu::CoreStats &cs = machine.cores[i]->stats();
+        r.cycles = std::max(r.cycles, machine.cores[i]->drain());
+        r.instructions += cs.uops;
+        r.delinquentLoads += cs.delinquentLoads;
+        r.allLoads += cs.loads;
+        r.atomics += cs.atomics;
+        r.mispredicts += cs.mispredicts;
+        r.fenceStallCycles += cs.fenceStallCycles;
+        r.branchStallCycles += cs.branchStallCycles;
+        for (int p = 0; p < 3; ++p) {
+            r.phaseCycles[p] += cs.phases[p].cycles;
+            r.phaseUops[p] += cs.phases[p].uops;
+        }
+    }
+    r.mem = machine.memory.totals();
+    if (r.instructions > 0) {
+        r.l2Mpki = double(r.mem.l2DemandMisses) /
+                   (double(r.instructions) / 1000.0);
+    }
+
+    // Full stats report for --stats-file dumps.
+    r.report.add("run.cycles", double(r.cycles));
+    r.report.add("run.instructions", double(r.instructions));
+    r.report.add("run.tasks", double(r.tasks));
+    r.report.add("run.ipc", r.mlpProxyIpc());
+    r.report.add("run.l2Mpki", r.l2Mpki);
+    r.report.add("run.threads", double(threads));
+    r.report.add("core.delinquentLoads",
+                 double(r.delinquentLoads));
+    r.report.add("core.loads", double(r.allLoads));
+    r.report.add("core.atomics", double(r.atomics));
+    r.report.add("core.mispredicts", double(r.mispredicts));
+    r.report.add("core.fenceStallCycles",
+                 double(r.fenceStallCycles));
+    r.report.add("core.branchStallCycles",
+                 double(r.branchStallCycles));
+    const char *phaseNames[3] = {"app", "worklist", "idle"};
+    for (int p = 0; p < 3; ++p) {
+        r.report.add(std::string("phase.") + phaseNames[p] +
+                         ".cycles",
+                     double(r.phaseCycles[p]));
+        r.report.add(std::string("phase.") + phaseNames[p] +
+                         ".uops",
+                     double(r.phaseUops[p]));
+    }
+    r.report.add("workload.edgesVisited",
+                 double(r.workload.edgesVisited));
+    r.report.add("workload.updates", double(r.workload.updates));
+    r.report.add("workload.pushes", double(r.workload.pushes));
+    machine.memory.report(r.report, "mem");
+    return r;
+}
+
+RunResult
+runParallel(runtime::Machine &machine, apps::App &app,
+            worklist::Worklist &wl, const RunConfig &cfg)
+{
+    fatal_if(cfg.threads == 0, "need at least one worker");
+    fatal_if(cfg.threads > machine.cfg.numCores,
+             "%u workers > %u cores", cfg.threads,
+             machine.cfg.numCores);
+    fatal_if(cfg.serialRelaxed && cfg.threads != 1,
+             "the relaxed serial baseline is single-threaded");
+
+    machine.monitor.reset(cfg.threads);
+    app.resetCounters();
+
+    // Seed the worklist functionally (input setup is untimed).
+    for (const worklist::WorkItem &item : app.initialWork())
+        wl.pushInitial(item);
+
+    std::vector<std::unique_ptr<SimContext>> contexts;
+    std::vector<WorkerState> states(cfg.threads);
+    std::vector<CoTask<void>> workers;
+    WorklistSink sink(&wl);
+    contexts.reserve(cfg.threads);
+    workers.reserve(cfg.threads);
+    for (std::uint32_t i = 0; i < cfg.threads; ++i) {
+        contexts.push_back(
+            std::make_unique<SimContext>(&machine, i));
+        contexts.back()->serialMode = cfg.serialRelaxed;
+        workers.push_back(workerLoop(*contexts[i], wl, app, sink,
+                                     states[i]));
+    }
+    for (auto &w : workers)
+        w.start();
+
+    machine.eq.run(cfg.maxEvents);
+
+    bool timedOut = !machine.monitor.terminated();
+    if (timedOut) {
+        // Drain remaining events is impossible mid-flight; report
+        // and let the Machine be discarded by the caller.
+        warn("run of %s timed out after %llu events",
+             app.name().c_str(),
+             (unsigned long long)cfg.maxEvents);
+    }
+
+    std::uint64_t pops = 0;
+    for (const auto &s : states)
+        pops += s.pops;
+    RunResult r = collectResult(machine, app, cfg.threads, timedOut,
+                                pops);
+    if (cfg.verify && !timedOut)
+        r.verified = app.verify();
+    return r;
+}
+
+} // namespace minnow::galois

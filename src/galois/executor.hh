@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Galois-like parallel foreach executor.
+ *
+ * Drives N worker threads (one per simulated core) over a software
+ * worklist: pop a task, run the application operator, repeat; park on
+ * the work monitor when empty; exit on distributed termination. This
+ * is the software baseline of the paper — every scheduler operation
+ * executes on the worker's own core and is exposed to all its
+ * latency, contention and serialization.
+ */
+
+#ifndef MINNOW_GALOIS_EXECUTOR_HH
+#define MINNOW_GALOIS_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "apps/app.hh"
+#include "base/stats.hh"
+#include "mem/memory_system.hh"
+#include "runtime/machine.hh"
+#include "worklist/worklist.hh"
+
+namespace minnow::galois
+{
+
+/** Run parameters. */
+struct RunConfig
+{
+    std::uint32_t threads = 1;
+    bool verify = true;
+
+    /**
+     * Serial-baseline mode (Section 6.3.1): single thread with
+     * atomics degraded to plain load/store.
+     */
+    bool serialRelaxed = false;
+
+    /**
+     * Event budget; a run that exceeds it is reported as timed out
+     * (the high bars of Fig. 3). 0 = unlimited.
+     */
+    std::uint64_t maxEvents = 400'000'000;
+};
+
+/** Outcome of one simulated run. */
+struct RunResult
+{
+    Cycle cycles = 0;              //!< makespan over all cores.
+    std::uint64_t instructions = 0;
+    std::uint64_t tasks = 0;       //!< operator invocations.
+    std::uint64_t pops = 0;        //!< successful dequeues.
+    bool verified = false;
+    bool timedOut = false;
+
+    double l2Mpki = 0;             //!< L2 demand misses / kilo-instr.
+    mem::MemStats mem;             //!< aggregated hierarchy stats.
+
+    /** Cycle/uop totals per phase (App, Worklist, Idle). */
+    Cycle phaseCycles[3] = {};
+    std::uint64_t phaseUops[3] = {};
+
+    std::uint64_t delinquentLoads = 0;
+    std::uint64_t allLoads = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t mispredicts = 0;
+    Cycle fenceStallCycles = 0;
+    Cycle branchStallCycles = 0;
+
+    apps::AppCounters workload;
+
+    /** Full dotted-key stats dump (see base/stats.hh). */
+    StatsReport report;
+
+    double
+    mlpProxyIpc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0;
+    }
+};
+
+/** TaskSink that forwards into a software worklist. */
+class WorklistSink : public apps::TaskSink
+{
+  public:
+    explicit WorklistSink(worklist::Worklist *wl) : wl_(wl) {}
+
+    runtime::CoTask<void>
+    put(runtime::SimContext &ctx, worklist::WorkItem item) override
+    {
+        co_await wl_->push(ctx, item);
+    }
+
+  private:
+    worklist::Worklist *wl_;
+};
+
+/**
+ * Execute @p app to completion over @p wl with cfg.threads workers.
+ * The machine must be freshly constructed (or reset) for meaningful
+ * statistics.
+ */
+RunResult runParallel(runtime::Machine &machine, apps::App &app,
+                      worklist::Worklist &wl, const RunConfig &cfg);
+
+/** Collect a RunResult from machine state after any executor. */
+RunResult collectResult(runtime::Machine &machine, apps::App &app,
+                        std::uint32_t threads, bool timedOut,
+                        std::uint64_t pops);
+
+} // namespace minnow::galois
+
+#endif // MINNOW_GALOIS_EXECUTOR_HH

@@ -1,0 +1,84 @@
+#include "graph/builder.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace minnow::graph
+{
+
+GraphBuilder &
+GraphBuilder::symmetrize()
+{
+    std::size_t n = edges_.size();
+    edges_.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RawEdge &e = edges_[i];
+        edges_.push_back({e.dst, e.src, e.weight});
+    }
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::removeSelfLoops()
+{
+    std::erase_if(edges_,
+                  [](const RawEdge &e) { return e.src == e.dst; });
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::dedup()
+{
+    std::sort(edges_.begin(), edges_.end(),
+              [](const RawEdge &a, const RawEdge &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.dst != b.dst)
+                      return a.dst < b.dst;
+                  return a.weight < b.weight;
+              });
+    edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                             [](const RawEdge &a, const RawEdge &b) {
+                                 return a.src == b.src &&
+                                        a.dst == b.dst;
+                             }),
+                 edges_.end());
+    return *this;
+}
+
+CsrGraph
+GraphBuilder::build(bool keepWeights)
+{
+    for (const RawEdge &e : edges_) {
+        panic_if(e.src >= numNodes_ || e.dst >= numNodes_,
+                 "edge (%u,%u) out of range for %u nodes", e.src,
+                 e.dst, numNodes_);
+    }
+    std::sort(edges_.begin(), edges_.end(),
+              [](const RawEdge &a, const RawEdge &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.dst < b.dst;
+              });
+
+    std::vector<std::uint64_t> rowPtr(numNodes_ + 1, 0);
+    for (const RawEdge &e : edges_)
+        rowPtr[e.src + 1] += 1;
+    for (NodeId v = 0; v < numNodes_; ++v)
+        rowPtr[v + 1] += rowPtr[v];
+
+    std::vector<NodeId> dst(edges_.size());
+    std::vector<std::uint32_t> weight;
+    if (keepWeights)
+        weight.resize(edges_.size());
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        dst[i] = edges_[i].dst;
+        if (keepWeights)
+            weight[i] = edges_[i].weight;
+    }
+    return CsrGraph(std::move(rowPtr), std::move(dst),
+                    std::move(weight));
+}
+
+} // namespace minnow::graph

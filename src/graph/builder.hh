@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Edge-list to CSR conversion with the transformations the
+ * benchmark inputs need: symmetrization, deduplication, self-loop
+ * removal, and per-node adjacency sorting (required by TC's binary
+ * searches).
+ */
+
+#ifndef MINNOW_GRAPH_BUILDER_HH
+#define MINNOW_GRAPH_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "graph/csr.hh"
+
+namespace minnow::graph
+{
+
+/** One input edge. */
+struct RawEdge
+{
+    NodeId src;
+    NodeId dst;
+    std::uint32_t weight = 1;
+};
+
+/** Accumulates edges and finalizes them into a CsrGraph. */
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(NodeId numNodes) : numNodes_(numNodes) {}
+
+    void
+    addEdge(NodeId src, NodeId dst, std::uint32_t weight = 1)
+    {
+        edges_.push_back({src, dst, weight});
+    }
+
+    std::size_t edgeCount() const { return edges_.size(); }
+    NodeId numNodes() const { return numNodes_; }
+
+    /** Add the reverse of every edge (undirected graphs). */
+    GraphBuilder &symmetrize();
+
+    /** Drop (u, u) edges. */
+    GraphBuilder &removeSelfLoops();
+
+    /** Keep one copy of each (u, v), lowest weight wins. */
+    GraphBuilder &dedup();
+
+    /**
+     * Produce the CSR graph (sorted adjacency).
+     * @param keepWeights Store the weight array; otherwise the graph
+     *                    is unweighted (all weights read as 1).
+     */
+    CsrGraph build(bool keepWeights = true);
+
+  private:
+    NodeId numNodes_;
+    std::vector<RawEdge> edges_;
+};
+
+} // namespace minnow::graph
+
+#endif // MINNOW_GRAPH_BUILDER_HH

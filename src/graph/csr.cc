@@ -1,0 +1,29 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+namespace minnow::graph
+{
+
+bool
+CsrGraph::hasEdge(NodeId u, NodeId v) const
+{
+    auto nbrs = neighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::function<bool(Addr, std::uint64_t &)>
+CsrGraph::makeEdgeOracle() const
+{
+    Addr base = edgeBase_;
+    Addr end = edgeBase_ + numEdges() * kEdgeBytes;
+    const std::vector<NodeId> *dst = &dst_;
+    return [base, end, dst](Addr a, std::uint64_t &value) {
+        if (a < base || a >= end)
+            return false;
+        value = (*dst)[(a - base) / kEdgeBytes];
+        return true;
+    };
+}
+
+} // namespace minnow::graph

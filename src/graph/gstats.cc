@@ -1,0 +1,75 @@
+#include "graph/gstats.hh"
+
+#include <deque>
+#include <vector>
+
+namespace minnow::graph
+{
+
+namespace
+{
+
+/** Host-side BFS; returns (furthest node, its hop distance, reach). */
+struct BfsResult
+{
+    NodeId furthest;
+    std::uint32_t dist;
+    NodeId reached;
+};
+
+BfsResult
+hostBfs(const CsrGraph &g, NodeId src)
+{
+    std::vector<std::uint32_t> dist(g.numNodes(), ~0u);
+    std::deque<NodeId> queue;
+    dist[src] = 0;
+    queue.push_back(src);
+    BfsResult r{src, 0, 0};
+    while (!queue.empty()) {
+        NodeId v = queue.front();
+        queue.pop_front();
+        r.reached += 1;
+        if (dist[v] > r.dist) {
+            r.dist = dist[v];
+            r.furthest = v;
+        }
+        for (NodeId u : g.neighbors(v)) {
+            if (dist[u] == ~0u) {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+GraphStats
+analyzeGraph(const CsrGraph &g, std::uint32_t sweeps)
+{
+    GraphStats s;
+    s.nodes = g.numNodes();
+    s.edges = g.numEdges();
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        s.maxDegree = std::max(s.maxDegree, g.degree(v));
+    s.avgDegree =
+        s.nodes ? double(s.edges) / double(s.nodes) : 0.0;
+
+    if (s.nodes == 0)
+        return s;
+    BfsResult r = hostBfs(g, 0);
+    s.reachableFrom0 = r.reached;
+    s.estDiameter = r.dist;
+    NodeId probe = r.furthest;
+    for (std::uint32_t i = 0; i < sweeps; ++i) {
+        BfsResult next = hostBfs(g, probe);
+        if (next.dist <= s.estDiameter && i > 0)
+            break;
+        s.estDiameter = std::max(s.estDiameter, next.dist);
+        probe = next.furthest;
+    }
+    return s;
+}
+
+} // namespace minnow::graph

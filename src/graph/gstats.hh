@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Graph statistics used by Table 1: node/edge counts, maximum
+ * degree, estimated diameter (double-sweep BFS pseudo-diameter), and
+ * the simulated footprint.
+ */
+
+#ifndef MINNOW_GRAPH_GSTATS_HH
+#define MINNOW_GRAPH_GSTATS_HH
+
+#include <cstdint>
+
+#include "graph/csr.hh"
+
+namespace minnow::graph
+{
+
+/** Summary statistics of one graph. */
+struct GraphStats
+{
+    NodeId nodes = 0;
+    EdgeId edges = 0;
+    std::uint32_t maxDegree = 0;
+    double avgDegree = 0;
+    std::uint32_t estDiameter = 0; //!< pseudo-diameter lower bound.
+    NodeId reachableFrom0 = 0;     //!< BFS reach from node 0.
+};
+
+/**
+ * Compute stats. Diameter estimation runs @p sweeps double-BFS
+ * iterations from alternating extremes.
+ */
+GraphStats analyzeGraph(const CsrGraph &g, std::uint32_t sweeps = 2);
+
+} // namespace minnow::graph
+
+#endif // MINNOW_GRAPH_GSTATS_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Set-associative cache array with LRU replacement.
+ *
+ * This class is pure mechanism: lookup, fill, invalidate. Policy
+ * (coherence, inclusion, prefetch-credit accounting) lives in
+ * MemorySystem. Each line carries the 1-bit prefetch metadata from
+ * Section 5.3.1 of the paper, plus dirty/exclusive state used by the
+ * MESI-lite directory.
+ */
+
+#ifndef MINNOW_MEM_CACHE_HH
+#define MINNOW_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "sim/config.hh"
+
+namespace minnow::mem
+{
+
+/** State of one cache line frame. */
+struct CacheLine
+{
+    Addr tag = 0;            //!< full line address (addr >> 6).
+    bool valid = false;
+    bool dirty = false;
+    bool exclusive = false;  //!< holder may write without an upgrade.
+    bool prefetch = false;   //!< prefetched, not yet used.
+    bool prefetchHw = false; //!< by a HW prefetcher (no credit).
+    std::uint64_t lru = 0;   //!< last-touch stamp for replacement.
+    Cycle readyAt = 0;       //!< fill-in-flight until this cycle.
+};
+
+/** Result of a fill: which line (if any) was evicted. */
+struct Eviction
+{
+    bool valid = false;      //!< a victim was displaced.
+    Addr lineNum = 0;        //!< victim line number.
+    bool dirty = false;
+    bool prefetch = false;   //!< victim was an unused prefetch.
+    bool prefetchHw = false; //!< victim was a HW-prefetched line.
+};
+
+/** A single cache structure (one level, one bank). */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheParams &params)
+        : assoc_(params.assoc),
+          sets_(params.sets()),
+          setMask_(params.sets() - 1),
+          lines_(std::size_t(params.sets()) * params.assoc)
+    {
+        panic_if(!isPow2(sets_), "set count must be a power of two");
+    }
+
+    /** Look up a line; returns the frame or nullptr, touching LRU. */
+    CacheLine *
+    lookup(Addr lnum)
+    {
+        CacheLine *set = setFor(lnum);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].valid && set[w].tag == lnum) {
+                set[w].lru = ++stamp_;
+                return &set[w];
+            }
+        }
+        return nullptr;
+    }
+
+    /** Look up without disturbing LRU (for probes and stats). */
+    const CacheLine *
+    probe(Addr lnum) const
+    {
+        const CacheLine *set = setFor(lnum);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].valid && set[w].tag == lnum)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a line, evicting the LRU frame of its set if needed.
+     *
+     * @param lnum      Line number to insert.
+     * @param isPrefetch Mark the line with the prefetch bit.
+     * @param[out] ev   Describes the displaced victim, if any.
+     * @return The filled frame.
+     */
+    CacheLine *
+    fill(Addr lnum, bool isPrefetch, Eviction &ev)
+    {
+        CacheLine *set = setFor(lnum);
+        CacheLine *victim = &set[0];
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+            if (set[w].lru < victim->lru)
+                victim = &set[w];
+        }
+        ev = Eviction{};
+        if (victim->valid) {
+            ev.valid = true;
+            ev.lineNum = victim->tag;
+            ev.dirty = victim->dirty;
+            ev.prefetch = victim->prefetch;
+            ev.prefetchHw = victim->prefetchHw;
+        }
+        victim->tag = lnum;
+        victim->valid = true;
+        victim->dirty = false;
+        victim->exclusive = false;
+        victim->prefetch = isPrefetch;
+        victim->prefetchHw = false;
+        victim->lru = ++stamp_;
+        victim->readyAt = 0;
+        return victim;
+    }
+
+    /** Drop a line if present; returns true if it was there. */
+    bool
+    invalidate(Addr lnum)
+    {
+        CacheLine *set = setFor(lnum);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].valid && set[w].tag == lnum) {
+                set[w].valid = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Invalidate everything (context-switch / between-run reset). */
+    void
+    flushAll()
+    {
+        for (auto &line : lines_)
+            line.valid = false;
+    }
+
+    /** Count of currently valid lines (tests and occupancy stats). */
+    std::uint64_t
+    validLines() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &line : lines_)
+            n += line.valid;
+        return n;
+    }
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return assoc_; }
+
+  private:
+    CacheLine *
+    setFor(Addr lnum)
+    {
+        return &lines_[std::size_t(lnum & setMask_) * assoc_];
+    }
+
+    const CacheLine *
+    setFor(Addr lnum) const
+    {
+        return &lines_[std::size_t(lnum & setMask_) * assoc_];
+    }
+
+    std::uint32_t assoc_;
+    std::uint32_t sets_;
+    Addr setMask_;
+    std::uint64_t stamp_ = 0;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace minnow::mem
+
+#endif // MINNOW_MEM_CACHE_HH

@@ -1,0 +1,477 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "base/bits.hh"
+#include "base/logging.hh"
+#include "base/trace.hh"
+
+namespace minnow::mem
+{
+
+namespace
+{
+
+/** Extra latency of a locked RMW beyond the plain store path. */
+constexpr Cycle kAtomicOpLatency = 15;
+
+} // anonymous namespace
+
+MemorySystem::MemorySystem(const MachineConfig &cfg)
+    : cfg_(cfg),
+      noc_(cfg.noc),
+      dram_(cfg.dram),
+      stats_(cfg.numCores)
+{
+    fatal_if(cfg.numCores > 64,
+             "directory sharer mask limits the model to 64 cores");
+    l1_.reserve(cfg.numCores);
+    l2_.reserve(cfg.numCores);
+    l3_.reserve(cfg.numCores);
+    for (std::uint32_t i = 0; i < cfg.numCores; ++i) {
+        l1_.emplace_back(cfg.l1d);
+        l2_.emplace_back(cfg.l2);
+        l3_.emplace_back(cfg.l3Bank);
+    }
+    if (cfg.prefetcher != PrefetcherKind::None) {
+        hwPrefetchers_.resize(cfg.numCores);
+        for (std::uint32_t i = 0; i < cfg.numCores; ++i) {
+            if (cfg.prefetcher == PrefetcherKind::Stride) {
+                hwPrefetchers_[i] =
+                    std::make_unique<StridePrefetcher>();
+            } else {
+                hwPrefetchers_[i] = std::make_unique<ImpPrefetcher>(
+                    [this](Addr a, std::uint64_t &v) {
+                        return oracle_ ? oracle_(a, v) : false;
+                    });
+            }
+        }
+    }
+}
+
+void
+MemorySystem::setValueOracle(ValueOracle oracle)
+{
+    oracle_ = std::move(oracle);
+}
+
+std::uint32_t
+MemorySystem::bankOf(Addr lnum) const
+{
+    return std::uint32_t(hashMix(lnum) % cfg_.numCores);
+}
+
+void
+MemorySystem::invalidatePrivate(CoreId core, Addr lnum)
+{
+    CacheLine *line = l2_[core].lookup(lnum);
+    if (line) {
+        if (line->prefetch) {
+            stats_[core].prefetchInvalidated += 1;
+            if (creditHook_ && !line->prefetchHw)
+                creditHook_(core, false);
+        }
+        if (line->dirty)
+            stats_[core].writebacks += 1;
+        l2_[core].invalidate(lnum);
+    }
+    l1_[core].invalidate(lnum);
+    stats_[core].invalidationsTaken += 1;
+}
+
+void
+MemorySystem::handleL2Eviction(CoreId core, const Eviction &ev)
+{
+    if (!ev.valid)
+        return;
+    // L2 is inclusive of L1: the L1 copy must go too.
+    l1_[core].invalidate(ev.lineNum);
+    if (ev.prefetch) {
+        stats_[core].prefetchEvictedUnused += 1;
+        if (creditHook_ && !ev.prefetchHw)
+            creditHook_(core, false);
+    }
+    auto it = directory_.find(ev.lineNum);
+    if (it != directory_.end()) {
+        it->second.sharers &= ~(std::uint64_t(1) << core);
+        if (it->second.owner == std::int32_t(core))
+            it->second.owner = -1;
+        if (it->second.sharers == 0 && it->second.owner < 0)
+            directory_.erase(it); // snoop filter entry retires.
+    }
+    if (ev.dirty) {
+        stats_[core].writebacks += 1;
+        // Victim-fill the (non-inclusive) L3 with the dirty line.
+        std::uint32_t bank = bankOf(ev.lineNum);
+        CacheLine *l3line = l3_[bank].lookup(ev.lineNum);
+        if (!l3line) {
+            Eviction l3ev;
+            l3line = l3_[bank].fill(ev.lineNum, false, l3ev);
+            if (l3ev.valid && l3ev.dirty)
+                dram_.access(l3ev.lineNum, 0); // writeback traffic.
+        }
+        l3line->dirty = true;
+    }
+}
+
+void
+MemorySystem::fillL3(std::uint32_t bank, Addr lnum)
+{
+    // Non-inclusive (Skylake-like) L3: victims do not back-
+    // invalidate private copies; the directory is a standalone
+    // snoop filter.
+    Eviction ev;
+    l3_[bank].fill(lnum, false, ev);
+    if (ev.valid && ev.dirty)
+        dram_.access(ev.lineNum, 0); // book writeback bandwidth.
+}
+
+AccessResult
+MemorySystem::access(const MemAccess &req)
+{
+    panic_if(req.core >= cfg_.numCores, "access from bogus core %u",
+             req.core);
+    MemStats &st = stats_[req.core];
+    const bool isWrite = req.type != AccessType::Load;
+    const Addr lnum = lineNum(req.addr);
+    Cycle t = req.when;
+    AccessResult res;
+
+    if (req.engine) {
+        st.engineAccesses += 1;
+    } else {
+        switch (req.type) {
+          case AccessType::Load: st.loads += 1; break;
+          case AccessType::Store: st.stores += 1; break;
+          case AccessType::Atomic: st.atomics += 1; break;
+        }
+    }
+
+    const Cycle extra =
+        req.type == AccessType::Atomic ? kAtomicOpLatency : 0;
+    // Serialize same-line RMWs: the earliest this atomic may begin
+    // its locked phase is when the previous one on the line ends.
+    auto serializeAtomic = [&](Cycle done) {
+        if (req.type != AccessType::Atomic)
+            return done;
+        Cycle &busy = atomicBusy_[lnum];
+        Cycle start = std::max(done - extra, busy);
+        done = start + extra;
+        busy = done;
+        return done;
+    };
+
+    // ---- L1 (cores only; engines attach at L2) ----
+    if (!req.engine) {
+        CacheLine *line = l1_[req.core].lookup(lnum);
+        if (line && (!isWrite || line->exclusive)) {
+            if (isWrite) {
+                line->dirty = true;
+                if (CacheLine *l2line = l2_[req.core].lookup(lnum))
+                    l2line->dirty = true;
+            }
+            st.l1Hits += 1;
+            res.done = serializeAtomic(t + cfg_.l1d.latency + extra);
+            res.level = HitLevel::L1;
+            if (!isWrite)
+                runHwPrefetcher(req, t);
+            return res;
+        }
+        t += cfg_.l1d.latency;
+    }
+
+    // ---- L2 ----
+    CacheLine *l2line = l2_[req.core].lookup(lnum);
+    if (l2line && (!isWrite || l2line->exclusive)) {
+        Cycle done = t + cfg_.l2.latency;
+        if (l2line->readyAt > done) {
+            // Fill still in flight (late prefetch): wait for it.
+            done = l2line->readyAt;
+            st.l2HitsUnderFill += 1;
+            if (l2line->prefetch && !req.prefetch)
+                st.prefetchUsedLate += 1;
+        }
+        if (l2line->prefetch && !req.prefetch) {
+            bool hw = l2line->prefetchHw;
+            l2line->prefetch = false;
+            l2line->prefetchHw = false;
+            st.prefetchUsed += 1;
+            res.hitPrefetched = true;
+            if (creditHook_ && !hw)
+                creditHook_(req.core, true);
+        } else if (l2line->prefetch && req.prefetch) {
+            st.prefetchRedundant += 1;
+        }
+        if (isWrite)
+            l2line->dirty = true;
+        if (!req.engine && !req.prefetch) {
+            // Refill L1 under inclusion.
+            if (!l1_[req.core].probe(lnum)) {
+                Eviction ev;
+                CacheLine *f = l1_[req.core].fill(lnum, false, ev);
+                f->exclusive = l2line->exclusive;
+                // L1 victims stay in L2 (dirty already propagated).
+            }
+            if (isWrite) {
+                if (CacheLine *f = l1_[req.core].lookup(lnum))
+                    f->dirty = true;
+            }
+        }
+        st.l2Hits += 1;
+        res.done = serializeAtomic(done + extra);
+        res.level = HitLevel::L2;
+        if (!isWrite && !req.engine)
+            runHwPrefetcher(req, t);
+        return res;
+    }
+
+    // ---- Miss in the private hierarchy: consult the directory ----
+    DPRINTF(Cache, "cache", "[%u] L2 miss %s addr=%#llx%s%s",
+            req.core, isWrite ? "store" : "load",
+            (unsigned long long)req.addr,
+            req.engine ? " (engine)" : "",
+            req.prefetch ? " (prefetch)" : "");
+    if (!req.engine && !req.prefetch)
+        st.l2DemandMisses += 1;
+    t += cfg_.l2.latency;
+
+    const std::uint32_t bank = bankOf(lnum);
+    t = noc_.traverse(tileOf(req.core), tileOf(bank), t);
+
+    // Directory (snoop filter) and L3 are consulted together; a
+    // dirty remote copy is forwarded cache-to-cache even when the
+    // non-inclusive L3 no longer holds the line.
+    CacheLine *l3line = l3_[bank].lookup(lnum);
+    auto [dirIt, dirInserted] = directory_.try_emplace(lnum);
+    DirEntry *dir = &dirIt->second;
+    bool remoteDirty = dir->owner >= 0 &&
+                       dir->owner != std::int32_t(req.core);
+    if (l3line || remoteDirty) {
+        t += cfg_.l3Bank.latency;
+        st.l3Hits += 1;
+        res.level = HitLevel::L3;
+    } else {
+        t += cfg_.l3Bank.latency; // tag + filter miss detection.
+        t = dram_.access(lnum, t);
+        st.memAccesses += 1;
+        fillL3(bank, lnum);
+        l3line = l3_[bank].lookup(lnum);
+        res.level = HitLevel::Mem;
+    }
+
+    // Coherence actions against other private copies.
+    const std::uint64_t self = std::uint64_t(1) << req.core;
+    if (isWrite) {
+        std::uint64_t others = dir->sharers & ~self;
+        if (others) {
+            Cycle worst = 0;
+            std::uint64_t scan = others;
+            while (scan) {
+                CoreId c = CoreId(std::countr_zero(scan));
+                scan &= scan - 1;
+                invalidatePrivate(c, lnum);
+                worst = std::max(worst,
+                                 noc_.idleLatency(tileOf(bank),
+                                                  tileOf(c)));
+                st.invalidationsSent += 1;
+            }
+            t += 2 * worst; // round trip to the furthest sharer.
+        }
+        if (dir->owner >= 0 && dir->owner != std::int32_t(req.core)
+            && l3line) {
+            l3line->dirty = true; // dirty data was pulled back.
+        }
+        dir->sharers = self;
+        dir->owner = std::int32_t(req.core);
+    } else {
+        if (dir->owner >= 0 && dir->owner != std::int32_t(req.core)) {
+            // Dirty intervention: fetch from the owning core.
+            CoreId owner = CoreId(dir->owner);
+            t += 2 * noc_.idleLatency(tileOf(bank), tileOf(owner));
+            if (CacheLine *oline = l2_[owner].lookup(lnum)) {
+                oline->dirty = false;
+                oline->exclusive = false;
+            }
+            if (CacheLine *o1 = l1_[owner].lookup(lnum)) {
+                o1->dirty = false;
+                o1->exclusive = false;
+            }
+            if (l3line) {
+                l3line->dirty = true;
+            } else {
+                // Fold the forwarded dirty data into the L3.
+                Eviction l3ev;
+                CacheLine *nl = l3_[bank].fill(lnum, false, l3ev);
+                nl->dirty = true;
+                if (l3ev.valid && l3ev.dirty)
+                    dram_.access(l3ev.lineNum, 0);
+            }
+            stats_[owner].writebacks += 1;
+            dir->owner = -1;
+        }
+        dir->sharers |= self;
+    }
+    const bool sole = dir->sharers == self;
+
+    // ---- Response and private fills ----
+    t = noc_.traverse(tileOf(bank), tileOf(req.core), t);
+    Cycle done = t;
+
+    Eviction ev;
+    CacheLine *fill2 = l2_[req.core].fill(lnum, req.prefetch, ev);
+    handleL2Eviction(req.core, ev);
+    fill2->exclusive = isWrite || sole;
+    fill2->dirty = isWrite;
+    if (req.prefetch) {
+        fill2->readyAt = done;
+        fill2->prefetchHw = req.hwPrefetch;
+        st.prefetchFills += 1;
+        res.prefetchFilled = true;
+    } else if (!req.engine) {
+        Eviction ev1;
+        CacheLine *fill1 = l1_[req.core].fill(lnum, false, ev1);
+        fill1->exclusive = fill2->exclusive;
+        fill1->dirty = isWrite;
+        // L1 victim remains in L2; dirty state was kept in sync.
+    }
+
+    res.done = serializeAtomic(done + extra);
+    if (!isWrite && !req.engine)
+        runHwPrefetcher(req, req.when);
+    return res;
+}
+
+void
+MemorySystem::runHwPrefetcher(const MemAccess &req, Cycle when)
+{
+    if (hwPrefetchers_.empty() || req.engine || inPrefetchIssue_ ||
+        req.type != AccessType::Load || req.prefetch) {
+        return;
+    }
+    pfScratch_.clear();
+    LoadObservation obs{req.addr, req.site, req.value, req.hasValue};
+    hwPrefetchers_[req.core]->observe(obs, pfScratch_);
+    if (pfScratch_.empty())
+        return;
+    inPrefetchIssue_ = true;
+    for (Addr target : pfScratch_) {
+        Addr lnum = lineNum(target);
+        if (l2_[req.core].probe(lnum)) {
+            stats_[req.core].prefetchRedundant += 1;
+            continue;
+        }
+        MemAccess pf;
+        pf.addr = target;
+        pf.type = AccessType::Load;
+        pf.core = req.core;
+        pf.when = when;
+        pf.engine = true;
+        pf.prefetch = true;
+        pf.hwPrefetch = true;
+        access(pf);
+    }
+    inPrefetchIssue_ = false;
+}
+
+void
+MemorySystem::flushAll()
+{
+    for (auto &c : l1_)
+        c.flushAll();
+    for (auto &c : l2_)
+        c.flushAll();
+    for (auto &c : l3_)
+        c.flushAll();
+    directory_.clear();
+    atomicBusy_.clear();
+    for (auto &pf : hwPrefetchers_) {
+        if (pf)
+            pf->reset();
+    }
+}
+
+void
+MemorySystem::resetStats()
+{
+    for (auto &s : stats_)
+        s = MemStats{};
+    noc_.resetStats();
+    dram_.resetStats();
+}
+
+MemStats
+MemorySystem::totals() const
+{
+    MemStats t;
+    for (const auto &s : stats_) {
+        t.loads += s.loads;
+        t.stores += s.stores;
+        t.atomics += s.atomics;
+        t.engineAccesses += s.engineAccesses;
+        t.l1Hits += s.l1Hits;
+        t.l2Hits += s.l2Hits;
+        t.l2HitsUnderFill += s.l2HitsUnderFill;
+        t.l2DemandMisses += s.l2DemandMisses;
+        t.l3Hits += s.l3Hits;
+        t.memAccesses += s.memAccesses;
+        t.invalidationsSent += s.invalidationsSent;
+        t.invalidationsTaken += s.invalidationsTaken;
+        t.writebacks += s.writebacks;
+        t.prefetchFills += s.prefetchFills;
+        t.prefetchUsed += s.prefetchUsed;
+        t.prefetchUsedLate += s.prefetchUsedLate;
+        t.prefetchEvictedUnused += s.prefetchEvictedUnused;
+        t.prefetchInvalidated += s.prefetchInvalidated;
+        t.prefetchRedundant += s.prefetchRedundant;
+    }
+    return t;
+}
+
+void
+MemorySystem::report(StatsReport &out, const std::string &prefix) const
+{
+    MemStats t = totals();
+    out.add(prefix + ".loads", double(t.loads));
+    out.add(prefix + ".stores", double(t.stores));
+    out.add(prefix + ".atomics", double(t.atomics));
+    out.add(prefix + ".engineAccesses", double(t.engineAccesses));
+    out.add(prefix + ".l1Hits", double(t.l1Hits));
+    out.add(prefix + ".l2Hits", double(t.l2Hits));
+    out.add(prefix + ".l2DemandMisses", double(t.l2DemandMisses));
+    out.add(prefix + ".l3Hits", double(t.l3Hits));
+    out.add(prefix + ".memAccesses", double(t.memAccesses));
+    out.add(prefix + ".writebacks", double(t.writebacks));
+    out.add(prefix + ".invalidationsSent",
+            double(t.invalidationsSent));
+    out.add(prefix + ".prefetchFills", double(t.prefetchFills));
+    out.add(prefix + ".prefetchUsed", double(t.prefetchUsed));
+    out.add(prefix + ".prefetchUsedLate", double(t.prefetchUsedLate));
+    out.add(prefix + ".prefetchEvictedUnused",
+            double(t.prefetchEvictedUnused));
+    out.add(prefix + ".nocMessages", double(noc_.messages()));
+    out.add(prefix + ".nocContention",
+            double(noc_.contentionCycles()));
+    out.add(prefix + ".dramAccesses", double(dram_.accesses()));
+    out.add(prefix + ".dramQueueCycles", double(dram_.queueCycles()));
+}
+
+bool
+MemorySystem::inL1(CoreId core, Addr addr) const
+{
+    return l1_[core].probe(lineNum(addr)) != nullptr;
+}
+
+bool
+MemorySystem::inL2(CoreId core, Addr addr) const
+{
+    return l2_[core].probe(lineNum(addr)) != nullptr;
+}
+
+bool
+MemorySystem::inL3(Addr addr) const
+{
+    Addr lnum = lineNum(addr);
+    return l3_[bankOf(lnum)].probe(lnum) != nullptr;
+}
+
+} // namespace minnow::mem

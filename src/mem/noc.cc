@@ -1,0 +1,86 @@
+#include "mem/noc.hh"
+
+#include <cstdlib>
+
+namespace minnow::mem
+{
+
+namespace
+{
+
+enum Direction
+{
+    kEast = 0,
+    kWest = 1,
+    kNorth = 2,
+    kSouth = 3,
+};
+
+} // anonymous namespace
+
+Noc::Noc(const NocParams &params)
+    : params_(params),
+      width_(params.meshWidth),
+      links_(std::size_t(params.meshWidth) * params.meshWidth * 4,
+             LinkMeter(std::uint32_t(LinkMeter::kWindow)))
+{
+}
+
+std::uint32_t
+Noc::hops(std::uint32_t src, std::uint32_t dst) const
+{
+    int sx = int(src % width_), sy = int(src / width_);
+    int dx = int(dst % width_), dy = int(dst / width_);
+    return std::uint32_t(std::abs(sx - dx) + std::abs(sy - dy));
+}
+
+Cycle
+Noc::idleLatency(std::uint32_t src, std::uint32_t dst) const
+{
+    return Cycle(hops(src, dst)) * params_.cyclesPerHop;
+}
+
+Cycle
+Noc::traverse(std::uint32_t src, std::uint32_t dst, Cycle start)
+{
+    ++messages_;
+    if (src == dst)
+        return start;
+
+    std::uint32_t x = src % width_, y = src / width_;
+    std::uint32_t dx = dst % width_, dy = dst / width_;
+    Cycle t = start;
+    Cycle ideal = start;
+
+    auto hop = [&](int dir, std::uint32_t nx, std::uint32_t ny) {
+        std::size_t link = linkIndex(x, y, dir);
+        Cycle depart = t;
+        if (params_.modelContention)
+            depart = links_[link].reserve(t);
+        t = depart + params_.cyclesPerHop;
+        ideal += params_.cyclesPerHop;
+        x = nx;
+        y = ny;
+        ++totalHops_;
+    };
+
+    // X first, then Y (dimension-ordered routing avoids deadlock).
+    while (x != dx) {
+        if (x < dx)
+            hop(kEast, x + 1, y);
+        else
+            hop(kWest, x - 1, y);
+    }
+    while (y != dy) {
+        if (y < dy)
+            hop(kSouth, x, y + 1);
+        else
+            hop(kNorth, x, y - 1);
+    }
+
+    if (t > ideal)
+        contention_ += t - ideal;
+    return t;
+}
+
+} // namespace minnow::mem

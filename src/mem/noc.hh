@@ -1,0 +1,76 @@
+/**
+ * @file
+ * 2-D mesh network-on-chip timing model.
+ *
+ * Dimension-ordered (X-Y) routing per Table 3: 8x8 mesh, 3 cycles per
+ * hop, 512-bit links. A 64 B line plus header is one flit at 512-bit
+ * links, so each message occupies each traversed link for one cycle;
+ * contention is modelled by per-link next-free bookkeeping.
+ */
+
+#ifndef MINNOW_MEM_NOC_HH
+#define MINNOW_MEM_NOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/bandwidth.hh"
+#include "sim/config.hh"
+
+namespace minnow::mem
+{
+
+/** Mesh NoC latency/contention model. */
+class Noc
+{
+  public:
+    explicit Noc(const NocParams &params);
+
+    /**
+     * Send one message from tile @p src to tile @p dst starting at
+     * @p start; returns the arrival cycle and books link occupancy.
+     */
+    Cycle traverse(std::uint32_t src, std::uint32_t dst, Cycle start);
+
+    /** Pure latency of src->dst with an idle network (stats, tests). */
+    Cycle idleLatency(std::uint32_t src, std::uint32_t dst) const;
+
+    /** Manhattan hop count between two tiles. */
+    std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const;
+
+    std::uint64_t messages() const { return messages_; }
+    std::uint64_t totalHops() const { return totalHops_; }
+    std::uint64_t contentionCycles() const { return contention_; }
+
+    void
+    resetStats()
+    {
+        messages_ = 0;
+        totalHops_ = 0;
+        contention_ = 0;
+    }
+
+  private:
+    /** Links: width*width tiles x 4 directions (E, W, N, S). */
+    std::size_t
+    linkIndex(std::uint32_t x, std::uint32_t y, int dir) const
+    {
+        return (std::size_t(y) * width_ + x) * 4 + std::size_t(dir);
+    }
+
+    /** One flit per cycle per link -> window-width flits/window. */
+    using LinkMeter = BandwidthMeter<5, 16>;
+
+    NocParams params_;
+    std::uint32_t width_;
+    std::vector<LinkMeter> links_;
+
+    std::uint64_t messages_ = 0;
+    std::uint64_t totalHops_ = 0;
+    std::uint64_t contention_ = 0;
+};
+
+} // namespace minnow::mem
+
+#endif // MINNOW_MEM_NOC_HH

@@ -1,0 +1,875 @@
+#include "minnow/engine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+
+namespace minnow::minnowengine
+{
+
+using runtime::CoTask;
+using runtime::PhaseGuard;
+using runtime::SimContext;
+
+/** Spawn-reservation gate for one parent threadlet (§5.3.2). */
+struct MinnowEngine::SpawnGate
+{
+    std::uint32_t reservedFree = 1; //!< reserved child slots free.
+    std::uint32_t active = 0;       //!< children in flight.
+    struct ChildWaiter;
+    std::deque<ChildWaiter *> spawnWaiters;
+    std::coroutine_handle<> joinWaiter;
+
+    struct ChildWaiter
+    {
+        std::coroutine_handle<> handle;
+        bool viaReserved = false;
+    };
+};
+
+namespace
+{
+
+/** Suspend until an absolute cycle (clamped to "now"). */
+struct WaitAt
+{
+    EventQueue *eq;
+    Cycle when;
+
+    bool await_ready() const { return when <= eq->now(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        eq->schedule(when, h);
+    }
+
+    void await_resume() const {}
+};
+
+/** Take one unit from a counted pool or park in its waiter queue. */
+struct PoolAcquire
+{
+    std::uint32_t *free;
+    std::deque<std::coroutine_handle<>> *waiters;
+    std::uint64_t *stallStat;
+
+    bool
+    await_ready()
+    {
+        if (*free > 0) {
+            --*free;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        if (stallStat)
+            ++*stallStat;
+        waiters->push_back(h);
+    }
+
+    void await_resume() const {}
+};
+
+} // anonymous namespace
+
+//
+// ThreadletCtx
+//
+
+void
+ThreadletCtx::exec(std::uint32_t instrs)
+{
+    ready_ = eng_->cuExec(ready_, instrs);
+}
+
+CoTask<Cycle>
+ThreadletCtx::load(Addr addr, bool prefetch)
+{
+    return eng_->threadletAccess(*this, addr, prefetch, false);
+}
+
+CoTask<Cycle>
+ThreadletCtx::atomic(Addr addr)
+{
+    return eng_->threadletAccess(*this, addr, false, true);
+}
+
+//
+// MinnowEngine
+//
+
+MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
+                           MinnowGlobalQueue *globalQueue,
+                           const PrefetchProgram &program)
+    : machine_(machine),
+      core_(core),
+      global_(globalQueue),
+      program_(program),
+      params_(machine->cfg.minnow),
+      creditsFree_(machine->cfg.minnow.prefetchCredits)
+{
+    // Virtual-queue split of the threadlet queue and load buffer
+    // (Section 5.3.2): worklist threadlets (spills/fills) keep
+    // reserved entries so prefetch threadlets can never starve the
+    // task-delivery path.
+    std::uint32_t total = params_.threadletQueueEntries;
+    std::uint32_t worklistShare = std::max(8u, total / 8);
+    if (worklistShare >= total)
+        worklistShare = total > 1 ? total / 2 : total;
+    threadletSlotsFree_ = worklistShare;
+    prefetchSlotsFree_ = total - worklistShare;
+
+    std::uint32_t lb = params_.loadBufferEntries;
+    std::uint32_t lbWl = std::max(4u, lb / 4);
+    if (lbWl >= lb)
+        lbWl = lb > 1 ? lb / 2 : lb;
+    loadBufWlFree_ = lbWl;
+    loadBufPfFree_ = lb - lbWl;
+    prefetchWindow_ = params_.prefetchWindow
+        ? params_.prefetchWindow
+        : std::max(4u, params_.prefetchCredits / 4);
+}
+
+Cycle
+MinnowEngine::cuExec(Cycle ready, std::uint32_t instrs)
+{
+    Cycle start = std::max(ready, cuBusyUntil_);
+    cuBusyUntil_ = start + instrs;
+    stats_.cuBusyCycles += instrs;
+    return cuBusyUntil_;
+}
+
+CoTask<Cycle>
+MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
+                              bool prefetch, bool atomic)
+{
+    tc.exec(1);
+    if (prefetch) {
+        // Local L2 tag probe: a line already present needs no
+        // prefetch, no credit and no load-buffer entry.
+        if (machine_->memory.inL2(core_, addr)) {
+            tc.exec(1);
+            co_return std::max(tc.ready(), machine_->eq.now());
+        }
+        // Credits are consumed before issue; without one the
+        // threadlet pauses until a prefetched line is consumed or
+        // evicted (Section 5.3.1). Acquired *before* the load
+        // buffer slot so stalled prefetches cannot starve demand
+        // traffic (spills/fills) of load-buffer entries.
+        co_await PoolAcquire{&creditsFree_, &creditWaiters_,
+                             &stats_.creditStalls};
+        if (machine_->memory.inL2(core_, addr)) {
+            // Filled by someone while we waited; recycle the credit.
+            creditReturn(false);
+            tc.exec(1);
+            co_return std::max(tc.ready(), machine_->eq.now());
+        }
+    }
+    if (prefetch) {
+        co_await PoolAcquire{&loadBufPfFree_, &loadBufPfWaiters_,
+                             &stats_.loadBufStalls};
+    } else {
+        co_await PoolAcquire{&loadBufWlFree_, &loadBufWlWaiters_,
+                             &stats_.loadBufStalls};
+    }
+    EventQueue &eq = machine_->eq;
+    Cycle issue = std::max(tc.ready(), eq.now());
+    mem::MemAccess req;
+    req.addr = addr;
+    req.type = atomic ? mem::AccessType::Atomic
+                      : mem::AccessType::Load;
+    req.core = core_;
+    req.when = issue;
+    req.engine = true;
+    req.prefetch = prefetch;
+    mem::AccessResult res = machine_->memory.access(req);
+    if (prefetch) {
+        stats_.prefetchLoads += 1;
+        if (!res.prefetchFilled) {
+            // The line was already cached: nothing to track, the
+            // credit returns immediately.
+            creditReturn(false);
+        }
+    }
+    Cycle ready = std::max(res.done + params_.loadBufferWakeup,
+                           eq.now());
+    co_await WaitAt{&eq, ready};
+    releaseLoadBufSlot(prefetch);
+    tc.setReady(ready);
+    co_return ready;
+}
+
+void
+MinnowEngine::creditReturn(bool used)
+{
+    DPRINTF(Credit, "credit", "[%u] return (%s), free=%u waiters=%zu",
+            core_, used ? "used" : "unused", creditsFree_,
+            creditWaiters_.size());
+    (void)used; // use/evict split is counted by the MemorySystem.
+    if (!creditWaiters_.empty()) {
+        std::coroutine_handle<> h = creditWaiters_.front();
+        creditWaiters_.pop_front();
+        machine_->eq.schedule(machine_->eq.now(), h);
+    } else {
+        creditsFree_ += 1;
+        panic_if(creditsFree_ > params_.prefetchCredits,
+                 "credit pool overflow");
+    }
+}
+
+void
+MinnowEngine::releaseLoadBufSlot(bool prefetchPool)
+{
+    auto &waiters =
+        prefetchPool ? loadBufPfWaiters_ : loadBufWlWaiters_;
+    auto &free = prefetchPool ? loadBufPfFree_ : loadBufWlFree_;
+    if (!waiters.empty()) {
+        std::coroutine_handle<> h = waiters.front();
+        waiters.pop_front();
+        machine_->eq.schedule(machine_->eq.now(), h);
+    } else {
+        free += 1;
+        panic_if(free > params_.loadBufferEntries,
+                 "load buffer pool overflow");
+    }
+}
+
+void
+MinnowEngine::releaseThreadletSlot()
+{
+    if (!threadletSlotWaiters_.empty()) {
+        std::coroutine_handle<> h = threadletSlotWaiters_.front();
+        threadletSlotWaiters_.pop_front();
+        machine_->eq.schedule(machine_->eq.now(), h);
+        return;
+    }
+    threadletSlotsFree_ += 1;
+    panic_if(threadletSlotsFree_ > params_.threadletQueueEntries,
+             "threadlet queue pool overflow");
+}
+
+void
+MinnowEngine::releasePrefetchSlot()
+{
+    prefetchSlotsFree_ += 1;
+    panic_if(prefetchSlotsFree_ > params_.threadletQueueEntries,
+             "prefetch slot pool overflow");
+    tryPendingPrefetch();
+}
+
+void
+MinnowEngine::tryPendingPrefetch()
+{
+    while (!pendingPrefetch_.empty() && prefetchSlotsFree_ >= 2 &&
+           activePrefetchTasks_ < prefetchWindow_) {
+        auto [item, seq] = pendingPrefetch_.front();
+        pendingPrefetch_.pop_front();
+        if (prefetchStale(seq)) {
+            stats_.prefetchCancelled += 1;
+            continue;
+        }
+        prefetchSlotsFree_ -= 2;
+        startPrefetchTask(item, seq);
+    }
+}
+
+void
+MinnowEngine::adoptThreadlet(CoTask<void> body)
+{
+    stats_.threadletsSpawned += 1;
+    sweepThreadlets();
+    body.start();
+    threadlets_.push_back(std::move(body));
+}
+
+void
+MinnowEngine::sweepThreadlets()
+{
+    if (threadlets_.size() < 256)
+        return;
+    std::erase_if(threadlets_, [](const CoTask<void> &t) {
+        return t.done();
+    });
+}
+
+void
+MinnowEngine::startPrefetchTask(WorkItem item, std::uint64_t seq)
+{
+    DPRINTF(Threadlet, "threadlet", "[%u] prefetchTask payload=%llu"
+            " seq=%llu", core_, (unsigned long long)item.payload,
+            (unsigned long long)seq);
+    stats_.prefetchTasks += 1;
+    activePrefetchTasks_ += 1;
+    adoptThreadlet(prefetchTaskThreadlet(item, seq));
+}
+
+void
+MinnowEngine::insertLocal(WorkItem item)
+{
+    panic_if(localQ_.size() >= params_.localQueueEntries,
+             "local queue overflow");
+    localQ_.push_back(item);
+    std::uint64_t seq = insertSeq_++;
+    if (params_.prefetchEnabled && program_.graph) {
+        if (prefetchSlotsFree_ >= 2 &&
+            activePrefetchTasks_ < prefetchWindow_) {
+            prefetchSlotsFree_ -= 2;
+            startPrefetchTask(item, seq);
+        } else {
+            pendingPrefetch_.push_back({item, seq});
+            stats_.prefetchDeferred += 1;
+            stats_.prefetchPendingPeak =
+                std::max<std::uint64_t>(stats_.prefetchPendingPeak,
+                                        pendingPrefetch_.size());
+        }
+    }
+}
+
+WorkItem
+MinnowEngine::popLocal()
+{
+    panic_if(localQ_.empty(), "pop from empty local queue");
+    WorkItem item = localQ_.front();
+    localQ_.pop_front();
+    consumedSeq_ += 1;
+    if (!pendingPrefetch_.empty() &&
+        pendingPrefetch_.front().first == item) {
+        // Too late to prefetch this task; drop the stale request.
+        pendingPrefetch_.pop_front();
+        stats_.prefetchCancelled += 1;
+    }
+    machine_->monitor.takeWork(1, false);
+    tryPendingPrefetch();
+    if (localQ_.empty())
+        localBucket_ = MinnowGlobalQueue::kNoBucket;
+    // Always nudge: besides refills, the daemon also reevaluates
+    // its work-sharing condition on every pop.
+    nudgeDaemon();
+    return item;
+}
+
+void
+MinnowEngine::deliverToBlocked()
+{
+    while (!blockedWorkers_.empty() && !localQ_.empty()) {
+        BlockedWorker w = blockedWorkers_.front();
+        blockedWorkers_.pop_front();
+        *w.slot = popLocal();
+        machine_->monitor.exitIdle();
+        machine_->eq.schedule(
+            machine_->eq.now() + params_.localQueueLatency,
+            w.handle);
+    }
+}
+
+void
+MinnowEngine::nudgeDaemon()
+{
+    if (parkedDaemon_) {
+        std::coroutine_handle<> h =
+            std::exchange(parkedDaemon_, nullptr);
+        machine_->eq.schedule(machine_->eq.now(), h);
+    }
+}
+
+void
+MinnowEngine::onTerminate()
+{
+    nudgeDaemon();
+    while (!blockedWorkers_.empty()) {
+        // Slots stay nullopt: the cores see termination.
+        BlockedWorker w = blockedWorkers_.front();
+        blockedWorkers_.pop_front();
+        machine_->eq.schedule(machine_->eq.now(), w.handle);
+    }
+}
+
+void
+MinnowEngine::startDaemon()
+{
+    panic_if(daemonRunning_, "fill daemon already running");
+    panic_if(threadletSlotsFree_ == 0,
+             "no threadlet slot for the fill daemon");
+    threadletSlotsFree_ -= 1;
+    daemonRunning_ = true;
+    adoptThreadlet(fillDaemon());
+}
+
+// ---- Core-side accelerator interface ----
+
+CoTask<void>
+MinnowEngine::enqueue(SimContext &ctx, WorkItem item)
+{
+    // Fire-and-forget accelerator call: the core hands the task off
+    // in a couple of instructions and keeps running — this is what
+    // takes scheduling off the critical path. The front-end FSM
+    // processes the arrival localQueueLatency cycles later.
+    PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    stats_.enqueues += 1;
+    ctx.compute(2);
+    machine_->monitor.addWork(1, false);
+    Cycle arrive = std::max(ctx.now() + params_.localQueueLatency,
+                            machine_->eq.now());
+    adoptThreadlet(enqueueArrival(item, arrive));
+    co_await ctx.sync();
+}
+
+CoTask<void>
+MinnowEngine::enqueueArrival(WorkItem item, Cycle when)
+{
+    co_await WaitAt{&machine_->eq, when};
+    DPRINTF(Engine, "engine", "[%u] enqueue arrival prio=%lld"
+            " payload=%llu localQ=%zu",
+            core_, (long long)item.priority,
+            (unsigned long long)item.payload, localQ_.size());
+    std::int64_t bucket = global_->bucketOf(item);
+    bool acceptLocal =
+        localQ_.size() + localReserved_ <
+            params_.localQueueEntries &&
+        (localQ_.empty() || bucket <= localBucket_);
+    if (acceptLocal) {
+        if (localQ_.empty() || bucket < localBucket_)
+            localBucket_ = bucket;
+        insertLocal(item);
+        deliverToBlocked();
+        co_return;
+    }
+    // Spill to the global worklist via a threadlet (Fig. 12). The
+    // buffer lets one threadlet drain bursts with amortized atomics.
+    stats_.spillsSpawned += 1;
+    spillBuf_.push_back(item);
+    if (!spillDrainActive_) {
+        spillDrainActive_ = true;
+        co_await PoolAcquire{&threadletSlotsFree_,
+                             &threadletSlotWaiters_, nullptr};
+        adoptThreadlet(spillDrainThreadlet());
+    }
+}
+
+CoTask<void>
+MinnowEngine::spillDrainThreadlet()
+{
+    ThreadletCtx tc(this, machine_->eq.now());
+    std::vector<WorkItem> batch;
+    while (!spillBuf_.empty()) {
+        // Gather up to 64 items of the front item's bucket.
+        std::int64_t bucket = global_->bucketOf(spillBuf_.front());
+        batch.clear();
+        for (auto it = spillBuf_.begin();
+             it != spillBuf_.end() && batch.size() < 64;) {
+            if (global_->bucketOf(*it) == bucket) {
+                batch.push_back(*it);
+                it = spillBuf_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        tc.exec(2 * std::uint32_t(batch.size()));
+        co_await global_->spillBatch(tc, batch, bucket, core_);
+        machine_->monitor.transferWork(batch.size(), true);
+    }
+    spillDrainActive_ = false;
+    releaseThreadletSlot();
+}
+
+CoTask<std::optional<WorkItem>>
+MinnowEngine::dequeue(SimContext &ctx)
+{
+    PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    stats_.dequeues += 1;
+    ctx.compute(1);
+    Cycle t = ctx.now() + params_.localQueueLatency;
+    co_await ctx.waitUntil(t);
+    ctx.core().idleUntil(machine_->eq.now());
+
+    if (!localQ_.empty()) {
+        stats_.dequeueLocalHits += 1;
+        WorkItem item = popLocal();
+        DPRINTF(Engine, "engine", "[%u] dequeue hit payload=%llu",
+                core_, (unsigned long long)item.payload);
+        co_return item;
+    }
+    DPRINTF(Engine, "engine", "[%u] dequeue blocks", core_);
+    if (machine_->monitor.terminated())
+        co_return std::nullopt;
+
+    // Block until the engine delivers a task or the run terminates.
+    stats_.dequeueBlocks += 1;
+    ctx.core().setPhase(cpu::Phase::Idle);
+    machine_->monitor.enterIdle();
+    if (machine_->monitor.terminated())
+        co_return std::nullopt;
+    nudgeDaemon();
+
+    struct BlockAwait
+    {
+        MinnowEngine *eng;
+        std::optional<WorkItem> *slot;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            eng->blockedWorkers_.push_back({h, slot});
+        }
+
+        void await_resume() const {}
+    };
+
+    std::optional<WorkItem> slot;
+    co_await BlockAwait{this, &slot};
+    ctx.core().idleUntil(machine_->eq.now());
+    co_return slot;
+}
+
+CoTask<void>
+MinnowEngine::flush(SimContext &ctx)
+{
+    PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    co_await ctx.waitUntil(ctx.now() + params_.localQueueLatency);
+    ctx.core().idleUntil(machine_->eq.now());
+    while (!localQ_.empty()) {
+        WorkItem item = localQ_.front();
+        localQ_.pop_front();
+        co_await PoolAcquire{&threadletSlotsFree_,
+                             &threadletSlotWaiters_, nullptr};
+        adoptThreadlet(spillThreadlet(item));
+    }
+    localBucket_ = MinnowGlobalQueue::kNoBucket;
+}
+
+// ---- Threadlet programs ----
+
+CoTask<void>
+MinnowEngine::spillThreadlet(WorkItem item)
+{
+    ThreadletCtx tc(this, machine_->eq.now());
+    tc.exec(4);
+    co_await global_->spill(tc, item);
+    machine_->monitor.transferWork(1, true);
+    releaseThreadletSlot();
+}
+
+CoTask<void>
+MinnowEngine::fillDaemon()
+{
+    ThreadletCtx tc(this, machine_->eq.now());
+    runtime::WorkMonitor &mon = machine_->monitor;
+
+    struct Park
+    {
+        MinnowEngine *eng;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            panic_if(eng->parkedDaemon_, "daemon double-parked");
+            eng->parkedDaemon_ = h;
+        }
+
+        void await_resume() const {}
+    };
+
+    std::vector<WorkItem> batch;
+    for (;;) {
+        if (mon.terminated())
+            break;
+        bool localLow =
+            localQ_.size() < params_.refillThreshold;
+        // Stream when the global head outprioritizes (or matches)
+        // the local queue — or when the local queue is about to
+        // starve: the filled tasks are the globally best anyway, so
+        // appending them early only reorders across one bucket
+        // boundary (the same slack a chunked OBIM has).
+        bool priorityOk =
+            localQ_.size() < params_.refillThreshold / 2 ||
+            global_->minBucket() <= localBucket_;
+        std::uint32_t space = 0;
+        {
+            std::uint32_t used =
+                std::uint32_t(localQ_.size()) + localReserved_;
+            if (used < params_.localQueueEntries)
+                space = params_.localQueueEntries - used;
+        }
+        if (localLow && priorityOk && global_->size() > 0 &&
+            space > 0) {
+            tc.exec(4);
+            batch.clear();
+            std::uint32_t burst =
+                std::min(space, params_.refillThreshold);
+            // Reserve the landing slots: concurrent enqueues from
+            // our core must not overflow the queue under us.
+            localReserved_ += burst;
+            std::int64_t bucket = MinnowGlobalQueue::kNoBucket;
+            std::uint32_t got = co_await global_->fill(
+                tc, burst, batch, bucket, core_);
+            localReserved_ -= burst;
+            if (got > 0) {
+                mon.transferWork(got, false);
+                stats_.fillBatches += 1;
+                stats_.itemsFilled += got;
+                if (localQ_.empty() || bucket < localBucket_)
+                    localBucket_ = bucket;
+                for (const WorkItem &item : batch)
+                    insertLocal(item);
+                deliverToBlocked();
+            }
+            continue;
+        }
+        if (!localLow) {
+            // Work sharing: with idle workers and nothing stealable
+            // anywhere, a hoarded local queue serializes the tail of
+            // the computation. Flush our excess back to the global
+            // worklist (a partial minnow_flush the programmable
+            // engine issues on its own).
+            if (params_.workSharing && mon.stealable() == 0 &&
+                mon.idleWorkers() > 0 &&
+                localQ_.size() > params_.refillThreshold) {
+                std::uint32_t excess =
+                    std::uint32_t(localQ_.size()) -
+                    params_.refillThreshold;
+                for (std::uint32_t i = 0; i < excess; ++i) {
+                    spillBuf_.push_back(localQ_.back());
+                    localQ_.pop_back();
+                }
+                stats_.spillsSpawned += excess;
+                if (!spillDrainActive_) {
+                    spillDrainActive_ = true;
+                    co_await PoolAcquire{&threadletSlotsFree_,
+                                         &threadletSlotWaiters_,
+                                         nullptr};
+                    adoptThreadlet(spillDrainThreadlet());
+                }
+                continue;
+            }
+            // Local queue is healthy: hand any monitor wakeup we
+            // consumed to someone needier and park engine-locally
+            // until our core drains the queue.
+            if (mon.stealable() > 0)
+                mon.rewake(1);
+            co_await Park{this};
+            continue;
+        }
+        if (mon.stealable() == 0 && global_->size() == 0) {
+            // Nothing to pull anywhere: park on the monitor until
+            // stealable work appears (or the run ends).
+            bool more = co_await mon.waitForStealable();
+            if (!more)
+                break;
+            continue;
+        }
+        // Transient (a racing fill's accounting is in flight) or
+        // priority-gated (global head is lower priority than our
+        // queue): bounded back-off, then recheck.
+        co_await WaitAt{&machine_->eq, machine_->eq.now() + 200};
+    }
+    daemonRunning_ = false;
+    releaseThreadletSlot();
+}
+
+CoTask<void>
+MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
+{
+    ThreadletCtx tc(this, machine_->eq.now());
+    const graph::CsrGraph &g = *program_.graph;
+    NodeId v = NodeId(item.payload & 0xffffffffu);
+    std::uint32_t part = std::uint32_t(item.payload >> 32);
+
+    // Fig. 14 prefetchTask(): fetch the source node record, then
+    // spawn a prefetchEdge threadlet per edge of the task's range.
+    tc.exec(4);
+    co_await tc.load(g.nodeAddr(v), true);
+    tc.exec(2);
+
+    // With the node record in hand, a superseded task (the worker
+    // would drop it at its stale cutoff) is not worth prefetching:
+    // its lines would pin credits until eviction.
+    if (program_.taskStale && program_.taskStale(item)) {
+        stats_.prefetchCancelled += 1;
+        panic_if(activePrefetchTasks_ == 0,
+                 "prefetch window underflow");
+        activePrefetchTasks_ -= 1;
+        releasePrefetchSlot();
+        releasePrefetchSlot();
+        co_return;
+    }
+
+    EdgeId begin = g.edgeBegin(v) +
+                   EdgeId(part) * program_.splitThreshold;
+    EdgeId end = std::min(g.edgeEnd(v),
+                          begin + program_.splitThreshold);
+    if (begin > g.edgeEnd(v))
+        begin = g.edgeEnd(v);
+
+    SpawnGate gate;
+
+    struct ChildSlot
+    {
+        MinnowEngine *eng;
+        SpawnGate *gate;
+        SpawnGate::ChildWaiter waiter;
+        bool granted = false;
+
+        bool
+        await_ready()
+        {
+            if (eng->prefetchSlotsFree_ > 0) {
+                eng->prefetchSlotsFree_ -= 1;
+                waiter.viaReserved = false;
+                return true;
+            }
+            if (gate->reservedFree > 0) {
+                gate->reservedFree -= 1;
+                waiter.viaReserved = true;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            waiter.handle = h;
+            gate->spawnWaiters.push_back(&waiter);
+        }
+
+        bool await_resume() const { return waiter.viaReserved; }
+    };
+
+    // One child per cache line of edge records; each child fetches
+    // its line once and then the destination nodes of the edges in
+    // it (the same coverage as Fig. 14's per-edge threadlets, with
+    // line-granular fetches).
+    constexpr EdgeId kEdgesPerLine =
+        kLineBytes / graph::CsrGraph::kEdgeBytes;
+    for (EdgeId e = begin; e < end;
+         e = (e / kEdgesPerLine + 1) * kEdgesPerLine) {
+        if (prefetchStale(seq)) {
+            stats_.prefetchCancelled += 1;
+            break; // the worker is already past this task.
+        }
+        stats_.prefetchEdges += 1;
+        tc.exec(2);
+        bool viaReserved = co_await ChildSlot{this, &gate, {}, false};
+        gate.active += 1;
+        adoptThreadlet(
+            prefetchEdgeThreadlet(e, end, seq, &gate, viaReserved));
+    }
+
+    // Join the children: the gate (and our reserved slot) must
+    // outlive them (Section 5.3.2 reservation rules).
+    struct Join
+    {
+        SpawnGate *gate;
+
+        bool await_ready() const { return gate->active == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            gate->joinWaiter = h;
+        }
+
+        void await_resume() const {}
+    };
+    co_await Join{&gate};
+
+    panic_if(activePrefetchTasks_ == 0, "prefetch window underflow");
+    activePrefetchTasks_ -= 1;
+    releasePrefetchSlot(); // the reserved child slot.
+    releasePrefetchSlot(); // our own slot.
+}
+
+void
+MinnowEngine::finishChild(SpawnGate *gate, bool usedReserved)
+{
+    if (usedReserved) {
+        if (!gate->spawnWaiters.empty()) {
+            SpawnGate::ChildWaiter *w = gate->spawnWaiters.front();
+            gate->spawnWaiters.pop_front();
+            w->viaReserved = true; // token passes directly on.
+            machine_->eq.schedule(machine_->eq.now(), w->handle);
+        } else {
+            gate->reservedFree += 1;
+        }
+    } else {
+        releasePrefetchSlot();
+    }
+    gate->active -= 1;
+    if (gate->active == 0 && gate->joinWaiter) {
+        std::coroutine_handle<> h =
+            std::exchange(gate->joinWaiter, nullptr);
+        machine_->eq.schedule(machine_->eq.now(), h);
+    }
+}
+
+CoTask<void>
+MinnowEngine::prefetchEdgeThreadlet(EdgeId e, EdgeId endEdge,
+                                    std::uint64_t seq,
+                                    SpawnGate *gate,
+                                    bool usedReserved)
+{
+    ThreadletCtx tc(this, machine_->eq.now());
+    const graph::CsrGraph &g = *program_.graph;
+
+    // Fig. 14 prefetchEdge(), line-granular: fetch the edge line,
+    // then every destination node it references within this task.
+    tc.exec(2);
+    co_await tc.load(g.edgeAddr(e), true);
+    constexpr EdgeId kEdgesPerLine =
+        kLineBytes / graph::CsrGraph::kEdgeBytes;
+    EdgeId lineEnd = (e / kEdgesPerLine + 1) * kEdgesPerLine;
+    EdgeId stop = std::min(lineEnd, endEdge);
+    for (EdgeId i = e; i < stop; ++i) {
+        if (prefetchStale(seq)) {
+            stats_.prefetchCancelled += 1;
+            finishChild(gate, usedReserved);
+            co_return;
+        }
+        NodeId dst = g.edgeDst(i);
+        tc.exec(2);
+        co_await tc.load(g.nodeAddr(dst), true);
+
+        if (program_.chaseAdjacency && g.degree(dst) > 0) {
+            // Custom TC program: prefetch the destination's
+            // adjacency array in bisection order (the order its
+            // binary searches probe it), capped to bound the
+            // footprint.
+            EdgeId b = g.edgeBegin(dst);
+            std::uint64_t bytes = std::uint64_t(g.degree(dst)) *
+                                  graph::CsrGraph::kEdgeBytes;
+            std::uint64_t lines =
+                (bytes + kLineBytes - 1) / kLineBytes;
+            std::uint32_t issued = 0;
+            for (std::uint64_t denom = 2;
+                 denom <= lines &&
+                 issued < program_.adjacencyLineCap;
+                 denom *= 2) {
+                for (std::uint64_t k = 1; k < denom; k += 2) {
+                    if (issued >= program_.adjacencyLineCap ||
+                        prefetchStale(seq)) {
+                        break;
+                    }
+                    std::uint64_t line = lines * k / denom;
+                    Addr addr = lineAddr(g.edgeAddr(b)) +
+                                line * kLineBytes;
+                    tc.exec(2);
+                    co_await tc.load(addr, true);
+                    ++issued;
+                }
+            }
+        }
+    }
+    finishChild(gate, usedReserved);
+}
+
+} // namespace minnow::minnowengine

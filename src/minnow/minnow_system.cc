@@ -1,0 +1,214 @@
+#include "minnow/minnow_system.hh"
+
+#include "base/logging.hh"
+#include "runtime/sim_context.hh"
+#include "runtime/task.hh"
+
+namespace minnow::minnowengine
+{
+
+using runtime::CoTask;
+using runtime::Machine;
+using runtime::SimContext;
+
+MinnowSystem::MinnowSystem(Machine *machine,
+                           std::uint32_t lgBucketInterval,
+                           const PrefetchProgram &program,
+                           std::uint32_t engines)
+    : machine_(machine),
+      global_(&machine->alloc, lgBucketInterval)
+{
+    fatal_if(!machine->cfg.minnow.enabled,
+             "MinnowSystem on a machine without minnow.enabled");
+    fatal_if(engines == 0 || engines > machine->cfg.numCores,
+             "bad engine count %u", engines);
+    coresPerEngine_ =
+        std::max(1u, machine->cfg.minnow.coresPerEngine);
+    std::uint32_t numEngines =
+        (engines + coresPerEngine_ - 1) / coresPerEngine_;
+    engines_.reserve(numEngines);
+    for (std::uint32_t e = 0; e < numEngines; ++e) {
+        // A shared engine attaches to its first core's L2.
+        engines_.push_back(std::make_unique<MinnowEngine>(
+            machine, CoreId(e * coresPerEngine_), &global_,
+            program));
+    }
+    // Route L2 prefetch-bit credit returns to the owning engine.
+    machine->memory.setCreditHook(
+        [this](CoreId core, bool used) {
+            std::size_t e = core / coresPerEngine_;
+            if (e < engines_.size())
+                engines_[e]->creditReturn(used);
+        });
+    // Release blocked cores / parked daemons at termination.
+    for (auto &eng : engines_) {
+        MinnowEngine *raw = eng.get();
+        machine->monitor.subscribeTermination(
+            [raw] { raw->onTerminate(); });
+    }
+}
+
+void
+MinnowSystem::seedInitial(const std::vector<worklist::WorkItem> &items)
+{
+    // Half-fill local queues round-robin (mirrors Galois's initial
+    // range distribution), spill the rest to the global queue.
+    std::uint32_t capPerEngine =
+        machine_->cfg.minnow.localQueueEntries / 2;
+    if (capPerEngine == 0)
+        capPerEngine = 1;
+    std::size_t i = 0;
+    for (std::uint32_t round = 0;
+         round < capPerEngine && i < items.size(); ++round) {
+        for (auto &eng : engines_) {
+            if (i >= items.size())
+                break;
+            // Private localQ insert: pending but not stealable.
+            machine_->monitor.addWork(1, false);
+            eng->seedLocal(items[i++]);
+        }
+    }
+    std::uint64_t spilled = 0;
+    for (; i < items.size(); ++i) {
+        global_.pushInitial(items[i]);
+        ++spilled;
+    }
+    if (spilled)
+        machine_->monitor.addWork(spilled, true);
+}
+
+void
+MinnowSystem::startDaemons()
+{
+    for (auto &eng : engines_)
+        eng->startDaemon();
+}
+
+EngineStats
+MinnowSystem::totals() const
+{
+    EngineStats t;
+    for (const auto &eng : engines_) {
+        const EngineStats &s = eng->stats();
+        t.enqueues += s.enqueues;
+        t.dequeues += s.dequeues;
+        t.dequeueLocalHits += s.dequeueLocalHits;
+        t.dequeueBlocks += s.dequeueBlocks;
+        t.spillsSpawned += s.spillsSpawned;
+        t.fillBatches += s.fillBatches;
+        t.itemsFilled += s.itemsFilled;
+        t.prefetchTasks += s.prefetchTasks;
+        t.prefetchEdges += s.prefetchEdges;
+        t.prefetchLoads += s.prefetchLoads;
+        t.creditStalls += s.creditStalls;
+        t.loadBufStalls += s.loadBufStalls;
+        t.threadletsSpawned += s.threadletsSpawned;
+        t.prefetchDeferred += s.prefetchDeferred;
+        t.prefetchPendingPeak =
+            std::max(t.prefetchPendingPeak, s.prefetchPendingPeak);
+        t.prefetchCancelled += s.prefetchCancelled;
+        t.cuBusyCycles += s.cuBusyCycles;
+    }
+    return t;
+}
+
+PrefetchProgram
+programFor(const apps::App &app)
+{
+    PrefetchProgram p;
+    p.graph = &app.graph();
+    p.splitThreshold = app.splitThreshold();
+    p.chaseAdjacency = app.prefetchChasesAdjacency();
+    p.taskStale = app.staleTaskPredicate();
+    return p;
+}
+
+namespace
+{
+
+struct WorkerState
+{
+    std::uint64_t pops = 0;
+};
+
+CoTask<void>
+minnowWorker(SimContext &ctx, MinnowEngine &eng, apps::App &app,
+             EngineSink &sink, WorkerState &state)
+{
+    for (;;) {
+        ctx.core().setPhase(cpu::Phase::Worklist);
+        std::optional<worklist::WorkItem> item =
+            co_await eng.dequeue(ctx);
+        if (!item)
+            break;
+        state.pops += 1;
+        ctx.core().setPhase(cpu::Phase::App);
+        co_await app.process(ctx, *item, sink);
+        co_await ctx.sync();
+    }
+    ctx.core().setPhase(cpu::Phase::Idle);
+}
+
+} // anonymous namespace
+
+galois::RunResult
+runMinnow(Machine &machine, apps::App &app,
+          std::uint32_t lgBucketInterval,
+          const galois::RunConfig &cfg, EngineStats *engineTotals)
+{
+    fatal_if(cfg.threads == 0, "need at least one worker");
+    fatal_if(cfg.threads > machine.cfg.numCores,
+             "%u workers > %u cores", cfg.threads,
+             machine.cfg.numCores);
+    fatal_if(cfg.serialRelaxed,
+             "the relaxed serial baseline does not use Minnow");
+
+    machine.monitor.reset(cfg.threads);
+    app.resetCounters();
+
+    MinnowSystem sys(&machine, lgBucketInterval, programFor(app),
+                     cfg.threads);
+    sys.seedInitial(app.initialWork());
+    sys.startDaemons();
+
+    std::vector<std::unique_ptr<SimContext>> contexts;
+    std::vector<WorkerState> states(cfg.threads);
+    std::vector<CoTask<void>> workers;
+    EngineSink sink(&sys);
+    contexts.reserve(cfg.threads);
+    workers.reserve(cfg.threads);
+    for (std::uint32_t i = 0; i < cfg.threads; ++i) {
+        contexts.push_back(
+            std::make_unique<SimContext>(&machine, i));
+        contexts.back()->engine = &sys.engine(i);
+        workers.push_back(minnowWorker(*contexts[i], sys.engine(i),
+                                       app, sink, states[i]));
+    }
+    for (auto &w : workers)
+        w.start();
+
+    machine.eq.run(cfg.maxEvents);
+
+    // The credit hook captures the (stack-local) MinnowSystem;
+    // detach it before the system goes out of scope.
+    machine.memory.setCreditHook(nullptr);
+
+    bool timedOut = !machine.monitor.terminated();
+    if (timedOut) {
+        warn("minnow run of %s timed out after %llu events",
+             app.name().c_str(),
+             (unsigned long long)cfg.maxEvents);
+    }
+    std::uint64_t pops = 0;
+    for (const auto &s : states)
+        pops += s.pops;
+    galois::RunResult r = galois::collectResult(
+        machine, app, cfg.threads, timedOut, pops);
+    if (engineTotals)
+        *engineTotals = sys.totals();
+    if (cfg.verify && !timedOut)
+        r.verified = app.verify();
+    return r;
+}
+
+} // namespace minnow::minnowengine

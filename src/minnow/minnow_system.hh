@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Machine-level Minnow wiring and the Minnow executor.
+ *
+ * MinnowSystem owns the shared software global queue and one engine
+ * per core, registers the L2 credit hook and the termination hooks,
+ * and seeds initial work. runMinnow() drives application workers
+ * whose scheduling is fully offloaded: workers only issue
+ * minnow_enqueue / minnow_dequeue accelerator calls, so scheduling
+ * leaves their critical path — the paper's headline mechanism.
+ */
+
+#ifndef MINNOW_MINNOW_MINNOW_SYSTEM_HH
+#define MINNOW_MINNOW_MINNOW_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "galois/executor.hh"
+#include "minnow/engine.hh"
+#include "minnow/global_queue.hh"
+#include "runtime/machine.hh"
+
+namespace minnow::minnowengine
+{
+
+/** All Minnow hardware attached to one machine. */
+class MinnowSystem
+{
+  public:
+    /**
+     * @param machine Host machine (cfg.minnow.enabled must be set).
+     * @param lgBucketInterval Bucket interval of the offloaded OBIM.
+     * @param program Prefetch program description for the engines.
+     * @param engines Number of engines to attach (= worker count).
+     */
+    MinnowSystem(runtime::Machine *machine,
+                 std::uint32_t lgBucketInterval,
+                 const PrefetchProgram &program,
+                 std::uint32_t engines);
+
+    MinnowEngine &engine(CoreId core)
+    {
+        return *engines_[core / coresPerEngine_];
+    }
+    MinnowGlobalQueue &globalQueue() { return global_; }
+    std::uint32_t numEngines() const
+    {
+        return std::uint32_t(engines_.size());
+    }
+
+    /**
+     * Seed initial tasks: scatter across engine local queues round-
+     * robin (half-filling them), overflow into the global queue.
+     */
+    void seedInitial(const std::vector<worklist::WorkItem> &items);
+
+    /** Start every engine's fill daemon (call once, before run). */
+    void startDaemons();
+
+    /** Aggregate engine statistics. */
+    EngineStats totals() const;
+
+  private:
+    runtime::Machine *machine_;
+    MinnowGlobalQueue global_;
+    std::uint32_t coresPerEngine_ = 1;
+    std::vector<std::unique_ptr<MinnowEngine>> engines_;
+};
+
+/** TaskSink that issues minnow_enqueue accelerator calls. */
+class EngineSink : public apps::TaskSink
+{
+  public:
+    explicit EngineSink(MinnowSystem *sys) : sys_(sys) {}
+
+    runtime::CoTask<void>
+    put(runtime::SimContext &ctx, worklist::WorkItem item) override
+    {
+        co_await sys_->engine(ctx.id()).enqueue(ctx, item);
+    }
+
+  private:
+    MinnowSystem *sys_;
+};
+
+/**
+ * Execute @p app under Minnow offload with cfg.threads workers.
+ * Prefetching follows machine.cfg.minnow.prefetchEnabled.
+ *
+ * @param lgBucketInterval Bucket interval for the offloaded global
+ *                         priority worklist.
+ */
+galois::RunResult runMinnow(runtime::Machine &machine,
+                            apps::App &app,
+                            std::uint32_t lgBucketInterval,
+                            const galois::RunConfig &cfg,
+                            EngineStats *engineTotals = nullptr);
+
+/** Build the PrefetchProgram matching an application. */
+PrefetchProgram programFor(const apps::App &app);
+
+} // namespace minnow::minnowengine
+
+#endif // MINNOW_MINNOW_MINNOW_SYSTEM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The simulated machine: event queue, memory hierarchy, cores, the
+ * simulated-address allocator and the global work monitor, bundled
+ * with their configuration.
+ *
+ * Minnow engines are attached by the minnow module (see
+ * minnow/minnow_system.hh); the Machine itself is scheduler-agnostic.
+ */
+
+#ifndef MINNOW_RUNTIME_MACHINE_HH
+#define MINNOW_RUNTIME_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/sim_alloc.hh"
+#include "base/trace.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/memory_system.hh"
+#include "runtime/work_monitor.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+namespace minnow::runtime
+{
+
+/** Owns all hardware models for one simulation. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config,
+                     std::uint64_t seed = 1)
+        : cfg(config),
+          memory(config),
+          monitor(&eq, config.numCores)
+    {
+        cfg.validate();
+        trace::setCycleSource(&eq.nowRef());
+        cores.reserve(cfg.numCores);
+        for (CoreId i = 0; i < cfg.numCores; ++i) {
+            cores.emplace_back(std::make_unique<cpu::OooCore>(
+                i, cfg.core, &memory, seed));
+        }
+    }
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Latest drain time across all cores = run makespan. */
+    Cycle
+    makespan() const
+    {
+        Cycle worst = 0;
+        for (const auto &c : cores)
+            worst = std::max(worst, c->drain());
+        return worst;
+    }
+
+    /** Sum of retired micro-ops across cores. */
+    std::uint64_t
+    totalUops() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &c : cores)
+            n += c->stats().uops;
+        return n;
+    }
+
+    MachineConfig cfg;
+    EventQueue eq;
+    SimAlloc alloc;
+    mem::MemorySystem memory;
+    std::vector<std::unique_ptr<cpu::OooCore>> cores;
+    WorkMonitor monitor;
+};
+
+} // namespace minnow::runtime
+
+#endif // MINNOW_RUNTIME_MACHINE_HH

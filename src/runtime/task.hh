@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Lazily-started coroutine task type used for simulated threads.
+ *
+ * Simulated worker threads, Galois operators, and Minnow threadlets
+ * are all C++20 coroutines returning CoTask. A CoTask is:
+ *
+ *  - lazy: the body does not run until the task is co_awaited (or
+ *    explicitly start()ed as a root task);
+ *  - composable: co_await'ing a child task uses symmetric transfer
+ *    and resumes the parent when the child finishes;
+ *  - owning: the handle is destroyed with the CoTask object.
+ *
+ * The simulation is single-host-threaded, so no synchronization is
+ * needed anywhere in this machinery.
+ */
+
+#ifndef MINNOW_RUNTIME_TASK_HH
+#define MINNOW_RUNTIME_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace minnow::runtime
+{
+
+template <typename T>
+class CoTask;
+
+namespace detail
+{
+
+/** On completion, transfer control back to the awaiting parent. */
+template <typename Promise>
+struct FinalAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) const noexcept
+    {
+        auto &p = h.promise();
+        if (p.continuation)
+            return p.continuation;
+        return std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { std::terminate(); }
+};
+
+} // namespace detail
+
+/** Coroutine task yielding a value of type T (or void). */
+template <typename T = void>
+class [[nodiscard]] CoTask
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        T value{};
+
+        CoTask
+        get_return_object()
+        {
+            return CoTask{
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this)};
+        }
+
+        detail::FinalAwaiter<promise_type>
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : handle_(h) {}
+    CoTask(CoTask &&o) noexcept
+        : handle_(std::exchange(o.handle_, nullptr))
+    {
+    }
+
+    CoTask &
+    operator=(CoTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask() { destroy(); }
+
+    /** Start as a root task (no awaiting parent). */
+    void
+    start()
+    {
+        handle_.resume();
+    }
+
+    /** True once the body has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    bool valid() const { return bool(handle_); }
+
+    /** Result after completion (root tasks). */
+    T &result() { return handle_.promise().value; }
+
+    // Awaiter protocol so a parent coroutine can co_await the task.
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle_.promise().continuation = parent;
+        return handle_;
+    }
+
+    T
+    await_resume()
+    {
+        return std::move(handle_.promise().value);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+/** Void specialization. */
+template <>
+class [[nodiscard]] CoTask<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        CoTask
+        get_return_object()
+        {
+            return CoTask{
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this)};
+        }
+
+        detail::FinalAwaiter<promise_type>
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void return_void() {}
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : handle_(h) {}
+    CoTask(CoTask &&o) noexcept
+        : handle_(std::exchange(o.handle_, nullptr))
+    {
+    }
+
+    CoTask &
+    operator=(CoTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask() { destroy(); }
+
+    void start() { handle_.resume(); }
+    bool done() const { return !handle_ || handle_.done(); }
+    bool valid() const { return bool(handle_); }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle_.promise().continuation = parent;
+        return handle_;
+    }
+
+    void await_resume() {}
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    Handle handle_ = nullptr;
+};
+
+} // namespace minnow::runtime
+
+#endif // MINNOW_RUNTIME_TASK_HH

@@ -1,0 +1,31 @@
+#include "sim/event_queue.hh"
+
+namespace minnow
+{
+
+std::uint64_t
+EventQueue::run(std::uint64_t maxEvents)
+{
+    stopped_ = false;
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && !stopped_) {
+        Event ev = heap_.top();
+        heap_.pop();
+        panic_if(ev.when < now_, "event time went backwards");
+        now_ = ev.when;
+        if (ev.coro) {
+            ev.coro.resume();
+        } else {
+            ev.fn(ev.arg);
+        }
+        ++executed;
+        if (maxEvents && executed >= maxEvents) {
+            warn("event budget of %llu exhausted; stopping simulation",
+                 (unsigned long long)maxEvents);
+            break;
+        }
+    }
+    return executed;
+}
+
+} // namespace minnow

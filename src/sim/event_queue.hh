@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic discrete-event engine.
+ *
+ * The whole simulation is single-host-threaded: simulated cores,
+ * Minnow engines, and DRAM callbacks are all events on this queue.
+ * Events at equal cycles fire in scheduling order (a monotonically
+ * increasing sequence number breaks ties), so runs are bit-exact
+ * reproducible.
+ *
+ * Two event flavours are supported: resuming a suspended C++20
+ * coroutine (the common case: a simulated thread waiting for memory),
+ * and calling a plain function pointer with a context argument.
+ */
+
+#ifndef MINNOW_SIM_EVENT_QUEUE_HH
+#define MINNOW_SIM_EVENT_QUEUE_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace minnow
+{
+
+/** Global discrete-event queue; owns simulated time. */
+class EventQueue
+{
+  public:
+    using Callback = void (*)(void *);
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated cycle. */
+    Cycle now() const { return now_; }
+
+    /** Stable reference to the clock (debug-trace timestamping). */
+    const Cycle &nowRef() const { return now_; }
+
+    /** Schedule a coroutine to resume at the given absolute cycle. */
+    void
+    schedule(Cycle when, std::coroutine_handle<> coro)
+    {
+        panic_if(when < now_, "scheduling into the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Event{when, seq_++, coro, nullptr, nullptr});
+    }
+
+    /** Schedule a callback at the given absolute cycle. */
+    void
+    schedule(Cycle when, Callback fn, void *arg)
+    {
+        panic_if(when < now_, "scheduling into the past (%llu < %llu)",
+                 (unsigned long long)when, (unsigned long long)now_);
+        heap_.push(Event{when, seq_++, nullptr, fn, arg});
+    }
+
+    /** True when nothing remains to execute. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue drains, stop() is called, or the
+     * event budget is exhausted (a runaway-simulation guard).
+     *
+     * @param maxEvents Abort the run after this many events; 0 means
+     *                  unlimited.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(std::uint64_t maxEvents = 0);
+
+    /** Ask run() to return after the current event completes. */
+    void stop() { stopped_ = true; }
+
+    /** True if stop() ended the last run() call. */
+    bool stopped() const { return stopped_; }
+
+    /** Reset time to zero; queue must be empty. */
+    void
+    reset()
+    {
+        panic_if(!heap_.empty(), "resetting a non-empty event queue");
+        now_ = 0;
+        seq_ = 0;
+        stopped_ = false;
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::coroutine_handle<> coro;
+        Callback fn;
+        void *arg;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace minnow
+
+#endif // MINNOW_SIM_EVENT_QUEUE_HH

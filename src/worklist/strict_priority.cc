@@ -1,0 +1,129 @@
+#include "worklist/strict_priority.hh"
+
+#include "worklist/chunked.hh"
+
+#include <algorithm>
+
+namespace minnow::worklist
+{
+
+using runtime::CoTask;
+using runtime::PhaseGuard;
+using runtime::SimContext;
+
+namespace
+{
+
+bool
+heapLess(const WorkItem &a, const WorkItem &b)
+{
+    return a.priority < b.priority;
+}
+
+} // anonymous namespace
+
+StrictPriorityWorklist::StrictPriorityWorklist(
+    runtime::Machine *machine)
+    : machine_(machine),
+      heapCapacity_(1 << 20)
+{
+    lockLine_ = machine->alloc.alloc("strict.lock", 64);
+    heapBase_ = machine->alloc.alloc("strict.heap",
+                                     heapCapacity_ * kItemBytes);
+}
+
+std::uint32_t
+StrictPriorityWorklist::siftUp()
+{
+    std::size_t i = heap_.size() - 1;
+    std::uint32_t levels = 0;
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!heapLess(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+        ++levels;
+    }
+    return levels;
+}
+
+std::uint32_t
+StrictPriorityWorklist::popMin(WorkItem &out)
+{
+    out = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0;
+    std::uint32_t levels = 0;
+    while (true) {
+        std::size_t l = 2 * i + 1, r = 2 * i + 2, best = i;
+        if (l < heap_.size() && heapLess(heap_[l], heap_[best]))
+            best = l;
+        if (r < heap_.size() && heapLess(heap_[r], heap_[best]))
+            best = r;
+        if (best == i)
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+        ++levels;
+    }
+    return levels;
+}
+
+void
+StrictPriorityWorklist::pushInitial(WorkItem item)
+{
+    heap_.push_back(item);
+    siftUp();
+    machine_->monitor.addWork(1, true);
+}
+
+CoTask<void>
+StrictPriorityWorklist::push(SimContext &ctx, WorkItem item)
+{
+    PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    ctx.compute(24);
+    ctx.cheapLoads(4);
+    // Acquire the global lock (the scalability killer).
+    co_await ctx.atomicAccess(lockLine_);
+    heap_.push_back(item);
+    ctx.store(slotAddr(heap_.size() - 1), 0);
+    std::uint32_t levels = siftUp();
+    // Each sift level reads a parent slot and writes two.
+    for (std::uint32_t l = 0; l < levels; ++l) {
+        ctx.load(slotAddr((heap_.size() - 1) >> (l + 1)), 0,
+                 {kSiteWlItem, 0, false, false});
+        ctx.compute(4);
+    }
+    ctx.monitor().addWork(1, true);
+    ctx.store(lockLine_, 0); // release.
+    co_await ctx.sync();
+}
+
+CoTask<bool>
+StrictPriorityWorklist::pop(SimContext &ctx, WorkItem &out)
+{
+    PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    ctx.compute(20);
+    ctx.cheapLoads(4);
+    co_await ctx.atomicAccess(lockLine_);
+    if (heap_.empty()) {
+        ctx.store(lockLine_, 0);
+        co_await ctx.sync();
+        co_return false;
+    }
+    ctx.load(slotAddr(0), 0, {kSiteWlItem, 0, false, false});
+    std::uint32_t levels = popMin(out);
+    for (std::uint32_t l = 0; l < levels; ++l) {
+        ctx.load(slotAddr(std::size_t(1) << (l + 1)), 0,
+                 {kSiteWlItem, 0, false, false});
+        ctx.compute(4);
+    }
+    ctx.monitor().takeWork(1, true);
+    ctx.store(lockLine_, 0); // release.
+    co_await ctx.sync();
+    co_return true;
+}
+
+} // namespace minnow::worklist

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Worklist abstraction.
+ *
+ * A worklist stores WorkItems — the paper's task representation of
+ * two 64-bit words: an integer priority and a payload pointer
+ * (Section 4.1). Software worklist implementations are *simulated*:
+ * their push/pop coroutines perform the same instruction mix, memory
+ * touches (on arena-shadowed chunk storage) and atomic operations the
+ * real scheduler code would, so scheduling overhead, contention and
+ * cache pollution all emerge from the machine model rather than from
+ * hard-coded constants.
+ */
+
+#ifndef MINNOW_WORKLIST_WORKLIST_HH
+#define MINNOW_WORKLIST_WORKLIST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "runtime/sim_context.hh"
+#include "runtime/task.hh"
+
+namespace minnow::worklist
+{
+
+/** A scheduled task: integer priority + payload (Section 4.1). */
+struct WorkItem
+{
+    std::int64_t priority = 0;
+    std::uint64_t payload = 0;
+
+    bool
+    operator==(const WorkItem &o) const
+    {
+        return priority == o.priority && payload == o.payload;
+    }
+};
+
+/** Bytes one item occupies in simulated chunk storage. */
+constexpr std::uint32_t kItemBytes = 16;
+
+/** Abstract simulated software worklist. */
+class Worklist
+{
+  public:
+    virtual ~Worklist() = default;
+
+    /** Timed enqueue executed on the calling worker's core. */
+    virtual runtime::CoTask<void> push(runtime::SimContext &ctx,
+                                       WorkItem item) = 0;
+
+    /**
+     * Timed try-pop. Returns false when no work is obtainable right
+     * now (the caller should park on the WorkMonitor).
+     */
+    virtual runtime::CoTask<bool> pop(runtime::SimContext &ctx,
+                                      WorkItem &out) = 0;
+
+    /**
+     * Functional-only seeding before simulated time starts; must
+     * account the items with the machine's WorkMonitor.
+     */
+    virtual void pushInitial(WorkItem item) = 0;
+
+    /** Total queued items (functional; for tests and debugging). */
+    virtual std::uint64_t size() const = 0;
+
+    /** Scheduler name for reports ("obim", "cfifo", ...). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace minnow::worklist
+
+#endif // MINNOW_WORKLIST_WORKLIST_HH

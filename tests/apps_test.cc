@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Integration tests: every workload runs to completion on the full
+ * simulated stack (executor + worklist + cores + caches) and
+ * verifies against its serial host reference, across schedulers and
+ * thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/bc.hh"
+#include "apps/cc.hh"
+#include "apps/pr.hh"
+#include "apps/sssp.hh"
+#include "apps/tc.hh"
+#include "galois/executor.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "graph/gstats.hh"
+#include "runtime/machine.hh"
+#include "worklist/chunked.hh"
+#include "worklist/obim.hh"
+#include "worklist/strict_priority.hh"
+
+namespace minnow
+{
+namespace
+{
+
+using apps::App;
+using galois::RunConfig;
+using galois::RunResult;
+using galois::runParallel;
+using runtime::Machine;
+
+MachineConfig
+testConfig(std::uint32_t cores)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = cores;
+    return cfg;
+}
+
+RunResult
+runApp(App &app, std::uint32_t threads, const std::string &wlKind,
+       graph::CsrGraph &g, std::uint32_t nodeBytes = 32)
+{
+    Machine m(testConfig(std::max(threads, 2u)));
+    g.assignAddresses(m.alloc, nodeBytes);
+    app.reset();
+    std::unique_ptr<worklist::Worklist> wl;
+    if (wlKind == "obim") {
+        wl = std::make_unique<worklist::ObimWorklist>(&m, 3, 8, 2);
+    } else if (wlKind == "fifo") {
+        wl = std::make_unique<worklist::ChunkedWorklist>(
+            &m, worklist::ChunkedWorklist::Policy::Fifo, 8, 2);
+    } else if (wlKind == "lifo") {
+        wl = std::make_unique<worklist::ChunkedWorklist>(
+            &m, worklist::ChunkedWorklist::Policy::Lifo, 8, 2);
+    } else {
+        wl = std::make_unique<worklist::StrictPriorityWorklist>(&m);
+    }
+    RunConfig cfg;
+    cfg.threads = threads;
+    RunResult r = runParallel(m, app, *wl, cfg);
+    EXPECT_FALSE(r.timedOut) << app.name() << " on " << wlKind;
+    return r;
+}
+
+TEST(SsspInt, SerialObimVerifies)
+{
+    graph::CsrGraph g = graph::gridGraph(16, 16, 100, 1);
+    apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+    RunResult r = runApp(app, 1, "obim", g);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.tasks, 0u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(SsspInt, ParallelObimVerifies)
+{
+    graph::CsrGraph g = graph::gridGraph(24, 24, 100, 2);
+    apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+    RunResult r = runApp(app, 4, "obim", g);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(SsspInt, ParallelFifoVerifiesButDoesMoreWork)
+{
+    graph::CsrGraph g = graph::gridGraph(24, 24, 100, 2);
+    apps::SsspApp appA(&g, 0, false, 1u << 30, "sssp");
+    RunResult obim = runApp(appA, 4, "obim", g);
+    apps::SsspApp appB(&g, 0, false, 1u << 30, "sssp");
+    RunResult fifo = runApp(appB, 4, "fifo", g);
+    EXPECT_TRUE(obim.verified);
+    EXPECT_TRUE(fifo.verified);
+    // Priority order improves work efficiency (Section 3.1).
+    EXPECT_LT(obim.tasks, fifo.tasks);
+}
+
+TEST(SsspInt, StrictPriorityVerifies)
+{
+    graph::CsrGraph g = graph::gridGraph(12, 12, 50, 3);
+    apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+    RunResult r = runApp(app, 2, "strict", g);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(BfsInt, ParallelVerifies)
+{
+    graph::CsrGraph g = graph::randomGraph(2000, 4.0, 7);
+    apps::SsspApp app(&g, 0, true, 1u << 30, "bfs");
+    RunResult r = runApp(app, 4, "obim", g);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(G500Int, TaskSplittingOnRmatVerifies)
+{
+    graph::CsrGraph g = graph::rmatGraph(10, 8, 11);
+    apps::SsspApp app(&g, 0, true, 256, "g500");
+    RunResult r = runApp(app, 4, "obim", g);
+    EXPECT_TRUE(r.verified);
+    // The hub node must actually have split.
+    graph::GraphStats s = graph::analyzeGraph(g);
+    EXPECT_GT(s.maxDegree, 256u);
+}
+
+TEST(CcInt, ParallelVerifies)
+{
+    graph::CsrGraph g = graph::powerLawGraph(1500, 6.0, 0.9, 5, true);
+    apps::CcApp app(&g, 1u << 30);
+    RunResult r = runApp(app, 4, "obim", g);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(CcInt, DisconnectedComponents)
+{
+    // Two disjoint grids glued into one id space.
+    graph::GraphBuilder b(20);
+    for (NodeId v = 0; v < 9; ++v)
+        b.addEdge(v, v + 1);
+    for (NodeId v = 10; v < 19; ++v)
+        b.addEdge(v, v + 1);
+    graph::CsrGraph g = b.symmetrize().build(false);
+    apps::CcApp app(&g, 1u << 30);
+    RunResult r = runApp(app, 2, "fifo", g);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(app.labels()[5], 0u);
+    EXPECT_EQ(app.labels()[15], 10u);
+}
+
+TEST(PrInt, ParallelVerifies)
+{
+    graph::CsrGraph g = graph::powerLawGraph(800, 8.0, 0.9, 13);
+    apps::PrApp app(&g, 0.85, 1e-4, 1u << 30);
+    RunResult r = runApp(app, 4, "obim", g);
+    EXPECT_TRUE(r.verified);
+    // PR is the atomic-heavy workload.
+    EXPECT_GT(r.atomics, g.numEdges() / 2);
+}
+
+TEST(TcInt, ParallelVerifies)
+{
+    graph::CsrGraph g = graph::wattsStrogatz(400, 6, 0.05, 17);
+    apps::TcApp app(&g, 1u << 30);
+    RunResult r = runApp(app, 4, "fifo", g, 64);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(app.triangles(), 0u);
+    // TC generates no dynamic work.
+    EXPECT_EQ(app.counters().pushes, 0u);
+}
+
+TEST(BcInt, BipartiteVerifies)
+{
+    graph::CsrGraph g = graph::bipartiteGraph(300, 200, 4.0, 0.8, 19);
+    apps::BcApp app(&g, 1u << 30);
+    RunResult r = runApp(app, 4, "fifo", g);
+    EXPECT_TRUE(r.verified);
+    EXPECT_FALSE(app.conflictFound());
+}
+
+TEST(BcInt, OddCycleDetected)
+{
+    // A triangle is not bipartite.
+    graph::GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 0);
+    graph::CsrGraph g = b.symmetrize().build(false);
+    apps::BcApp app(&g, 1u << 30);
+    RunResult r = runApp(app, 2, "fifo", g);
+    EXPECT_TRUE(r.verified);
+    EXPECT_TRUE(app.conflictFound());
+}
+
+TEST(Executor, SerialRelaxedBaselineRuns)
+{
+    graph::CsrGraph g = graph::gridGraph(16, 16, 100, 1);
+    Machine m(testConfig(2));
+    g.assignAddresses(m.alloc);
+    apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+    worklist::ObimWorklist wl(&m, 3, 8, 1);
+    RunConfig cfg;
+    cfg.threads = 1;
+    cfg.serialRelaxed = true;
+    RunResult r = runParallel(m, app, wl, cfg);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.atomics, 0u); // atomics removed in serial baseline.
+}
+
+TEST(Executor, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        graph::CsrGraph g = graph::gridGraph(16, 16, 100, 1);
+        Machine m(testConfig(4));
+        g.assignAddresses(m.alloc);
+        apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+        worklist::ObimWorklist wl(&m, 3, 8, 2);
+        RunConfig cfg;
+        cfg.threads = 4;
+        return runParallel(m, app, wl, cfg).cycles;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(Executor, MoreThreadsMoreParallelism)
+{
+    auto run = [](std::uint32_t threads) {
+        graph::CsrGraph g = graph::randomGraph(3000, 4.0, 23);
+        Machine m(testConfig(8));
+        g.assignAddresses(m.alloc);
+        apps::SsspApp app(&g, 0, true, 1u << 30, "bfs");
+        worklist::ObimWorklist wl(&m, 2, 8, 2);
+        RunConfig cfg;
+        cfg.threads = threads;
+        RunResult r = runParallel(m, app, wl, cfg);
+        EXPECT_TRUE(r.verified);
+        return r.cycles;
+    };
+    Cycle serial = run(1);
+    Cycle parallel = run(8);
+    EXPECT_LT(parallel, serial)
+        << "8 threads should beat 1 thread";
+}
+
+TEST(Executor, PhaseBreakdownCovered)
+{
+    graph::CsrGraph g = graph::gridGraph(16, 16, 100, 1);
+    Machine m(testConfig(2));
+    g.assignAddresses(m.alloc);
+    apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+    worklist::ObimWorklist wl(&m, 3, 8, 1);
+    RunConfig cfg;
+    cfg.threads = 2;
+    RunResult r = runParallel(m, app, wl, cfg);
+    EXPECT_GT(r.phaseCycles[int(cpu::Phase::App)], 0u);
+    EXPECT_GT(r.phaseCycles[int(cpu::Phase::Worklist)], 0u);
+    EXPECT_GT(r.delinquentLoads, 0u);
+    EXPECT_GT(r.allLoads, r.delinquentLoads);
+    EXPECT_GT(r.l2Mpki, 0.0);
+}
+
+} // anonymous namespace
+} // namespace minnow

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for src/base: RNG determinism, bit helpers, simulated
+ * allocator, statistics, options parsing, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bits.hh"
+#include "base/options.hh"
+#include "base/rng.hh"
+#include "base/sim_alloc.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/types.hh"
+
+namespace minnow
+{
+namespace
+{
+
+TEST(Types, LineMath)
+{
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(63), 0u);
+    EXPECT_EQ(lineAddr(64), 64u);
+    EXPECT_EQ(lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(lineNum(128), 2u);
+    EXPECT_EQ(lineNum(127), 1u);
+}
+
+TEST(Bits, PowersOfTwo)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(1023));
+}
+
+TEST(Bits, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, Align)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignDown(127, 64), 64u);
+}
+
+TEST(Bits, HashMixSpreads)
+{
+    // Consecutive line numbers should land on many distinct residues.
+    std::set<std::uint64_t> banks;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        banks.insert(hashMix(i) % 64);
+    EXPECT_GT(banks.size(), 48u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, RealRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(SimAlloc, LineAlignedAndDisjoint)
+{
+    SimAlloc alloc;
+    Addr a = alloc.alloc("a", 10);
+    Addr b = alloc.alloc("b", 100);
+    Addr c = alloc.allocAnon(1);
+    EXPECT_EQ(a % kLineBytes, 0u);
+    EXPECT_EQ(b % kLineBytes, 0u);
+    EXPECT_EQ(c % kLineBytes, 0u);
+    EXPECT_GE(b, a + 10);
+    EXPECT_GE(c, b + 100);
+    EXPECT_EQ(alloc.regions().size(), 2u);
+    EXPECT_GE(alloc.bytesAllocated(), 3 * kLineBytes);
+}
+
+TEST(SimAlloc, ZeroSizeStillDistinct)
+{
+    SimAlloc alloc;
+    Addr a = alloc.allocAnon(0);
+    Addr b = alloc.allocAnon(0);
+    EXPECT_NE(a, b);
+}
+
+TEST(Stats, Average)
+{
+    StatAverage avg;
+    EXPECT_EQ(avg.mean(), 0.0);
+    avg.sample(1.0);
+    avg.sample(3.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(avg.min(), 1.0);
+    EXPECT_DOUBLE_EQ(avg.max(), 3.0);
+    EXPECT_EQ(avg.count(), 2u);
+    avg.reset();
+    EXPECT_EQ(avg.count(), 0u);
+}
+
+TEST(Stats, Histogram)
+{
+    StatHistogram h;
+    h.sample(0);
+    h.sample(1);
+    h.sample(100);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_NEAR(h.mean(), 101.0 / 3.0, 1e-9);
+    EXPECT_EQ(h.bucket(0), 1u); // value 0.
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    StatHistogram h;
+    for (int i = 0; i < 90; ++i)
+        h.sample(1);
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000);
+    EXPECT_LE(h.percentile(0.5), 1u);
+    EXPECT_GE(h.percentile(0.99), 512u);
+}
+
+TEST(Stats, Report)
+{
+    StatsReport r;
+    r.add("a.b", 1.5);
+    EXPECT_TRUE(r.has("a.b"));
+    EXPECT_FALSE(r.has("a.c"));
+    EXPECT_DOUBLE_EQ(r.get("a.b"), 1.5);
+    EXPECT_DOUBLE_EQ(r.get("a.c", -1), -1.0);
+}
+
+TEST(Options, Parsing)
+{
+    Options opts({"--cores=16", "--minnow", "--ratio=0.5",
+                  "--name=foo", "input.gr"});
+    EXPECT_EQ(opts.getUint("cores", 1), 16u);
+    EXPECT_TRUE(opts.getBool("minnow", false));
+    EXPECT_DOUBLE_EQ(opts.getDouble("ratio", 0), 0.5);
+    EXPECT_EQ(opts.getString("name", ""), "foo");
+    EXPECT_EQ(opts.getInt("missing", -3), -3);
+    ASSERT_EQ(opts.positional().size(), 1u);
+    EXPECT_EQ(opts.positional()[0], "input.gr");
+    opts.rejectUnused(); // everything was consumed; must not die.
+}
+
+TEST(Options, BoolSpellings)
+{
+    Options opts({"--a=yes", "--b=off", "--c=1", "--d=false"});
+    EXPECT_TRUE(opts.getBool("a", false));
+    EXPECT_FALSE(opts.getBool("b", true));
+    EXPECT_TRUE(opts.getBool("c", false));
+    EXPECT_FALSE(opts.getBool("d", true));
+}
+
+TEST(Options, NegativeInt)
+{
+    Options opts({"--x=-5"});
+    EXPECT_EQ(opts.getInt("x", 0), -5);
+}
+
+TEST(Table, Format)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::count(0), "0");
+    EXPECT_EQ(TextTable::count(999), "999");
+    EXPECT_EQ(TextTable::count(1000), "1,000");
+    EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+}
+
+} // anonymous namespace
+} // namespace minnow

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the extension workloads (MIS, k-core): functional
+ * correctness against serial references under every scheduler,
+ * schedule-independence of results, and edge cases (empty cascade,
+ * k larger than every degree, complete graphs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/kcore.hh"
+#include "apps/mis.hh"
+#include "galois/executor.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "harness/workloads.hh"
+#include "minnow/minnow_system.hh"
+#include "runtime/machine.hh"
+#include "worklist/obim.hh"
+
+namespace minnow
+{
+namespace
+{
+
+using harness::Config;
+using harness::makeWorkload;
+using harness::RunSpec;
+using harness::runExperiment;
+using harness::Workload;
+
+MachineConfig
+cfg(std::uint32_t cores)
+{
+    MachineConfig c = scaledMachine();
+    c.numCores = cores;
+    return c;
+}
+
+TEST(Mis, SerialReferenceIsIndependentSet)
+{
+    graph::CsrGraph g = graph::powerLawGraph(800, 6.0, 0.9, 3, true);
+    apps::MisApp app(&g, 1u << 30);
+    auto ref = app.referenceSet();
+    // Independent: no two adjacent members.
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (!ref[v])
+            continue;
+        for (NodeId u : g.neighbors(v))
+            EXPECT_FALSE(ref[u]) << v << "-" << u;
+    }
+    // Maximal: every non-member has a member neighbour.
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (ref[v])
+            continue;
+        bool hasMember = false;
+        for (NodeId u : g.neighbors(v))
+            hasMember |= bool(ref[u]);
+        EXPECT_TRUE(hasMember) << v;
+    }
+}
+
+TEST(Mis, ParallelMatchesSerialExactly)
+{
+    graph::CsrGraph g = graph::powerLawGraph(1000, 6.0, 0.9, 7, true);
+    runtime::Machine m(cfg(4));
+    g.assignAddresses(m.alloc);
+    apps::MisApp app(&g, 256);
+    worklist::ObimWorklist wl(&m, 6, 16, 2);
+    galois::RunConfig rc;
+    rc.threads = 4;
+    auto r = galois::runParallel(m, app, wl, rc);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_TRUE(r.verified); // bit-exact vs serial greedy.
+    EXPECT_GT(app.setSize(), 0u);
+    EXPECT_LT(app.setSize(), std::uint64_t(g.numNodes()));
+}
+
+TEST(Mis, IsolatedNodesAllJoin)
+{
+    graph::GraphBuilder b(8); // no edges at all.
+    graph::CsrGraph g = b.build(false);
+    runtime::Machine m(cfg(2));
+    g.assignAddresses(m.alloc);
+    apps::MisApp app(&g, 1u << 30);
+    worklist::ObimWorklist wl(&m, 0, 8, 1);
+    galois::RunConfig rc;
+    rc.threads = 2;
+    auto r = galois::runParallel(m, app, wl, rc);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(app.setSize(), 8u);
+}
+
+TEST(Mis, CompleteGraphPicksOne)
+{
+    graph::GraphBuilder b(6);
+    for (NodeId u = 0; u < 6; ++u) {
+        for (NodeId v = u + 1; v < 6; ++v)
+            b.addEdge(u, v);
+    }
+    graph::CsrGraph g = b.symmetrize().build(false);
+    runtime::Machine m(cfg(2));
+    g.assignAddresses(m.alloc);
+    apps::MisApp app(&g, 1u << 30);
+    worklist::ObimWorklist wl(&m, 0, 8, 1);
+    galois::RunConfig rc;
+    rc.threads = 2;
+    auto r = galois::runParallel(m, app, wl, rc);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(app.setSize(), 1u);
+    EXPECT_EQ(app.inSet()[0], 1); // lexicographic greedy picks 0.
+}
+
+TEST(Kcore, ParallelMatchesSerial)
+{
+    graph::CsrGraph g = graph::wattsStrogatz(1000, 8, 0.2, 5);
+    runtime::Machine m(cfg(4));
+    g.assignAddresses(m.alloc);
+    apps::KcoreApp app(&g, 4, 256);
+    worklist::ObimWorklist wl(&m, 2, 16, 2);
+    galois::RunConfig rc;
+    rc.threads = 4;
+    auto r = galois::runParallel(m, app, wl, rc);
+    ASSERT_FALSE(r.timedOut);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Kcore, CoreSatisfiesDegreeInvariant)
+{
+    graph::CsrGraph g = graph::powerLawGraph(800, 6.0, 0.9, 9, true);
+    runtime::Machine m(cfg(4));
+    g.assignAddresses(m.alloc);
+    apps::KcoreApp app(&g, 3, 1u << 30);
+    worklist::ObimWorklist wl(&m, 2, 16, 2);
+    galois::RunConfig rc;
+    rc.threads = 4;
+    auto r = galois::runParallel(m, app, wl, rc);
+    ASSERT_TRUE(r.verified);
+    // Every surviving node has >= k surviving neighbours.
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        if (!app.inCore()[v])
+            continue;
+        std::uint32_t alive = 0;
+        for (NodeId u : g.neighbors(v))
+            alive += app.inCore()[u];
+        EXPECT_GE(alive, 3u) << v;
+    }
+}
+
+TEST(Kcore, HighKRemovesEverything)
+{
+    graph::CsrGraph g = graph::randomGraph(300, 4.0, 11);
+    runtime::Machine m(cfg(2));
+    g.assignAddresses(m.alloc);
+    apps::KcoreApp app(&g, 1000, 1u << 30);
+    worklist::ObimWorklist wl(&m, 2, 16, 1);
+    galois::RunConfig rc;
+    rc.threads = 2;
+    auto r = galois::runParallel(m, app, wl, rc);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(app.coreSize(), 0u);
+}
+
+TEST(Kcore, KZeroKeepsEverything)
+{
+    graph::CsrGraph g = graph::randomGraph(300, 4.0, 11);
+    runtime::Machine m(cfg(2));
+    g.assignAddresses(m.alloc);
+    apps::KcoreApp app(&g, 0, 1u << 30);
+    worklist::ObimWorklist wl(&m, 2, 16, 1);
+    galois::RunConfig rc;
+    rc.threads = 2;
+    auto r = galois::runParallel(m, app, wl, rc);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(app.coreSize(), std::uint64_t(g.numNodes()));
+}
+
+TEST(ExtHarness, MisAndKcoreRunUnderMinnowPf)
+{
+    for (const char *name : {"mis", "kcore"}) {
+        Workload w = makeWorkload(name, 0.05, 3);
+        RunSpec spec;
+        spec.config = Config::MinnowPf;
+        spec.threads = 4;
+        spec.machine.numCores = 4;
+        auto r = runExperiment(w, spec);
+        EXPECT_FALSE(r.run.timedOut) << name;
+        EXPECT_TRUE(r.run.verified) << name;
+    }
+}
+
+TEST(ExtHarness, MinnowSpeedsUpMis)
+{
+    Workload w = makeWorkload("mis", 0.5, 3);
+    RunSpec sw;
+    sw.config = Config::Obim;
+    sw.threads = 16;
+    sw.machine.numCores = 16;
+    auto base = runExperiment(w, sw);
+    RunSpec hw;
+    hw.config = Config::MinnowPf;
+    hw.threads = 16;
+    hw.machine.numCores = 16;
+    auto mn = runExperiment(w, hw);
+    ASSERT_TRUE(base.run.verified);
+    ASSERT_TRUE(mn.run.verified);
+    EXPECT_LT(mn.run.cycles, base.run.cycles);
+}
+
+} // anonymous namespace
+} // namespace minnow

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: builder transforms, CSR
+ * invariants, generators (shape properties per Table 1 classes),
+ * statistics, and file I/O round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "base/sim_alloc.hh"
+#include "graph/builder.hh"
+#include "graph/csr.hh"
+#include "graph/generators.hh"
+#include "graph/gstats.hh"
+#include "graph/io.hh"
+
+namespace minnow::graph
+{
+namespace
+{
+
+TEST(Builder, BasicCsr)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1, 5);
+    b.addEdge(0, 2, 7);
+    b.addEdge(2, 3, 1);
+    CsrGraph g = b.build(true);
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 0u);
+    EXPECT_EQ(g.edgeDst(g.edgeBegin(0)), 1u);
+    EXPECT_EQ(g.edgeWeight(g.edgeBegin(0)), 5u);
+    EXPECT_TRUE(g.hasEdge(0, 2));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+}
+
+TEST(Builder, SymmetrizeDedupSelfLoops)
+{
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 0);
+    b.addEdge(1, 1);
+    b.addEdge(0, 2);
+    CsrGraph g =
+        b.removeSelfLoops().symmetrize().dedup().build(false);
+    EXPECT_EQ(g.numEdges(), 4u); // 0-1, 1-0, 0-2, 2-0.
+    EXPECT_TRUE(g.hasEdge(2, 0));
+    EXPECT_FALSE(g.hasEdge(1, 1));
+}
+
+TEST(Builder, AdjacencySorted)
+{
+    GraphBuilder b(5);
+    b.addEdge(0, 4);
+    b.addEdge(0, 1);
+    b.addEdge(0, 3);
+    CsrGraph g = b.build(false);
+    auto nbrs = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Csr, SimulatedLayout)
+{
+    GraphBuilder b(10);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    CsrGraph g = b.build(false);
+    SimAlloc alloc;
+    g.assignAddresses(alloc, 32);
+    EXPECT_TRUE(g.hasAddresses());
+    EXPECT_EQ(g.nodeAddr(1) - g.nodeAddr(0), 32u);
+    EXPECT_EQ(g.edgeAddr(1) - g.edgeAddr(0), 16u);
+    EXPECT_EQ(g.simBytes(), 10 * 32 + 2 * 16u);
+    // Two 32 B nodes share a 64 B line.
+    EXPECT_EQ(lineAddr(g.nodeAddr(0)), lineAddr(g.nodeAddr(1)));
+}
+
+TEST(Csr, TcLayoutIs64Bytes)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    CsrGraph g = b.build(false);
+    SimAlloc alloc;
+    g.assignAddresses(alloc, 64);
+    EXPECT_EQ(g.nodeAddr(1) - g.nodeAddr(0), 64u);
+}
+
+TEST(Csr, EdgeOracle)
+{
+    GraphBuilder b(4);
+    b.addEdge(0, 3);
+    b.addEdge(0, 1);
+    CsrGraph g = b.build(false);
+    SimAlloc alloc;
+    g.assignAddresses(alloc);
+    auto oracle = g.makeEdgeOracle();
+    std::uint64_t v = 0;
+    ASSERT_TRUE(oracle(g.edgeAddr(0), v));
+    EXPECT_EQ(v, 1u); // sorted adjacency: (0,1) first.
+    ASSERT_TRUE(oracle(g.edgeAddr(1), v));
+    EXPECT_EQ(v, 3u);
+    EXPECT_FALSE(oracle(g.nodeAddr(0), v));
+}
+
+TEST(Generators, GridShape)
+{
+    CsrGraph g = gridGraph(10, 7, 100, 42);
+    EXPECT_EQ(g.numNodes(), 70u);
+    // Interior nodes have degree 4, corners 2.
+    GraphStats s = analyzeGraph(g);
+    EXPECT_EQ(s.maxDegree, 4u);
+    EXPECT_EQ(s.estDiameter, 15u); // (10-1) + (7-1).
+    EXPECT_EQ(s.reachableFrom0, 70u);
+}
+
+TEST(Generators, GridDeterministic)
+{
+    CsrGraph a = gridGraph(8, 8, 50, 7);
+    CsrGraph b = gridGraph(8, 8, 50, 7);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (EdgeId e = 0; e < a.numEdges(); ++e) {
+        EXPECT_EQ(a.edgeDst(e), b.edgeDst(e));
+        EXPECT_EQ(a.edgeWeight(e), b.edgeWeight(e));
+    }
+}
+
+TEST(Generators, RandomGraphShape)
+{
+    CsrGraph g = randomGraph(2000, 4.0, 11);
+    GraphStats s = analyzeGraph(g);
+    EXPECT_NEAR(s.avgDegree, 4.0, 0.5);
+    // Random graph: low max degree, logarithmic diameter.
+    EXPECT_LT(s.maxDegree, 20u);
+    EXPECT_LT(s.estDiameter, 40u);
+    EXPECT_GT(s.reachableFrom0, NodeId(1600)); // giant component.
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    CsrGraph g = rmatGraph(12, 8, 5);
+    GraphStats s = analyzeGraph(g);
+    // Scale-free: the hub dwarfs the average degree.
+    EXPECT_GT(s.maxDegree, 50 * std::uint32_t(s.avgDegree + 1));
+    EXPECT_LT(s.estDiameter, 12u);
+}
+
+TEST(Generators, PowerLawSkew)
+{
+    CsrGraph g = powerLawGraph(4000, 8.0, 1.0, 3);
+    GraphStats s = analyzeGraph(g);
+    EXPECT_GT(s.maxDegree, 10 * std::uint32_t(s.avgDegree + 1));
+}
+
+TEST(Generators, WattsStrogatzHasTriangles)
+{
+    CsrGraph g = wattsStrogatz(1000, 8, 0.05, 9);
+    // Count triangles around a few nodes; ring lattices are dense in
+    // them.
+    std::uint64_t tri = 0;
+    for (NodeId v = 0; v < 50; ++v) {
+        auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+                if (g.hasEdge(nbrs[i], nbrs[j]))
+                    ++tri;
+            }
+        }
+    }
+    EXPECT_GT(tri, 100u);
+}
+
+TEST(Generators, BipartiteIsBipartite)
+{
+    CsrGraph g = bipartiteGraph(500, 300, 5.0, 0.8, 21);
+    EXPECT_EQ(g.numNodes(), 800u);
+    // No edge inside either part.
+    for (NodeId v = 0; v < 500; ++v) {
+        for (NodeId u : g.neighbors(v))
+            EXPECT_GE(u, 500u);
+    }
+    for (NodeId v = 500; v < 800; ++v) {
+        for (NodeId u : g.neighbors(v))
+            EXPECT_LT(u, 500u);
+    }
+}
+
+TEST(Stats, EmptyAndSingle)
+{
+    GraphBuilder b(1);
+    CsrGraph g = b.build(false);
+    GraphStats s = analyzeGraph(g);
+    EXPECT_EQ(s.nodes, 1u);
+    EXPECT_EQ(s.edges, 0u);
+    EXPECT_EQ(s.maxDegree, 0u);
+    EXPECT_EQ(s.estDiameter, 0u);
+}
+
+TEST(Io, DimacsRoundTrip)
+{
+    CsrGraph g = gridGraph(5, 5, 20, 3);
+    std::string path = testing::TempDir() + "/mg_test.gr";
+    writeDimacs(g, path);
+    CsrGraph h = readDimacs(path);
+    ASSERT_EQ(h.numNodes(), g.numNodes());
+    ASSERT_EQ(h.numEdges(), g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        EXPECT_EQ(h.edgeDst(e), g.edgeDst(e));
+        EXPECT_EQ(h.edgeWeight(e), g.edgeWeight(e));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRoundTrip)
+{
+    CsrGraph g = randomGraph(300, 4.0, 17);
+    std::string path = testing::TempDir() + "/mg_test.bin";
+    writeBinary(g, path);
+    CsrGraph h = readBinary(path);
+    ASSERT_EQ(h.numNodes(), g.numNodes());
+    ASSERT_EQ(h.numEdges(), g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        EXPECT_EQ(h.edgeDst(e), g.edgeDst(e));
+        EXPECT_EQ(h.edgeWeight(e), g.edgeWeight(e));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Io, EdgeListParsing)
+{
+    std::string path = testing::TempDir() + "/mg_test.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "# comment line\n10 20\n20 30 7\n10 30\n");
+    std::fclose(f);
+    CsrGraph g = readEdgeList(path);
+    EXPECT_EQ(g.numNodes(), 3u); // ids compacted.
+    EXPECT_EQ(g.numEdges(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Io, EdgeListSymmetrize)
+{
+    std::string path = testing::TempDir() + "/mg_test2.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "0 1\n1 2\n");
+    std::fclose(f);
+    CsrGraph g = readEdgeList(path, true);
+    EXPECT_EQ(g.numEdges(), 4u);
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace minnow::graph

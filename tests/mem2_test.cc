@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Additional memory-system tests: the windowed bandwidth meter
+ * (out-of-order arrival robustness — the property that motivated
+ * it), per-line atomic serialization, and flush/reset behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth.hh"
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+
+namespace minnow::mem
+{
+namespace
+{
+
+TEST(BandwidthMeter, PassThroughWhenIdle)
+{
+    BandwidthMeter<5, 8> meter(4);
+    EXPECT_EQ(meter.reserve(100), 100u);
+    EXPECT_EQ(meter.reserve(100), 100u);
+}
+
+TEST(BandwidthMeter, OverflowSlidesToNextWindow)
+{
+    BandwidthMeter<5, 8> meter(2); // 2 per 32-cycle window.
+    EXPECT_EQ(meter.reserve(0), 0u);
+    EXPECT_EQ(meter.reserve(0), 0u);
+    // Third and fourth land in the next window (starts at 32).
+    EXPECT_EQ(meter.reserve(0), 32u);
+    EXPECT_EQ(meter.reserve(0), 32u);
+    EXPECT_EQ(meter.reserve(0), 64u);
+}
+
+TEST(BandwidthMeter, FarFutureBookingDoesNotBlockNearTerm)
+{
+    // The regression that killed the next-free-cursor model: a
+    // request far in the future must not delay near-term requests.
+    BandwidthMeter<5, 8> meter(1);
+    EXPECT_EQ(meter.reserve(100000), 100000u);
+    EXPECT_EQ(meter.reserve(100016), 100032u); // same window: slides.
+    // A later-arriving near-term request books its own window.
+    // (Slots recycle by epoch, so the frontier may move; what must
+    // hold is that it is not pushed past the far-future booking.)
+    Cycle near = meter.reserve(100100);
+    EXPECT_LT(near, 101000u);
+}
+
+TEST(BandwidthMeter, SaturationPenalty)
+{
+    BandwidthMeter<5, 4> meter(1); // 4 windows tracked.
+    for (int i = 0; i < 4; ++i)
+        meter.reserve(0);
+    // Every tracked window is full: overload penalty applies.
+    EXPECT_GE(meter.reserve(0), Cycle(4) * 32);
+}
+
+TEST(BandwidthMeter, CapacityQuery)
+{
+    BandwidthMeter<5, 8> meter(3);
+    EXPECT_EQ(meter.usedInWindow(64), 0u);
+    meter.reserve(64);
+    meter.reserve(65);
+    EXPECT_EQ(meter.usedInWindow(64), 2u);
+}
+
+TEST(AtomicSerialization, SameLineRmwsSerialize)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = 4;
+    MemorySystem ms(cfg);
+    Addr line = 0x50000;
+    // Warm the line on all cores via loads.
+    for (CoreId c = 0; c < 4; ++c) {
+        MemAccess warm;
+        warm.addr = line;
+        warm.core = c;
+        ms.access(warm);
+    }
+    // Four concurrent atomics to one line: completions must be
+    // strictly increasing even though all are issued at time 0.
+    Cycle last = 0;
+    for (CoreId c = 0; c < 4; ++c) {
+        MemAccess rmw;
+        rmw.addr = line;
+        rmw.core = c;
+        rmw.type = AccessType::Atomic;
+        rmw.when = 1000;
+        AccessResult r = ms.access(rmw);
+        EXPECT_GT(r.done, last);
+        last = r.done;
+    }
+}
+
+TEST(AtomicSerialization, DistinctLinesDoNot)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = 4;
+    MemorySystem ms(cfg);
+    // Warm four distinct lines.
+    for (CoreId c = 0; c < 4; ++c) {
+        MemAccess warm;
+        warm.addr = 0x60000 + Addr(c) * 4096;
+        warm.core = c;
+        ms.access(warm);
+    }
+    Cycle first = 0;
+    for (CoreId c = 0; c < 4; ++c) {
+        MemAccess rmw;
+        rmw.addr = 0x60000 + Addr(c) * 4096;
+        rmw.core = c;
+        rmw.type = AccessType::Atomic;
+        rmw.when = 1000;
+        AccessResult r = ms.access(rmw);
+        if (c == 0)
+            first = r.done;
+        else
+            EXPECT_EQ(r.done, first); // independent lines overlap.
+    }
+}
+
+TEST(NonInclusiveL3, L3EvictionKeepsPrivateCopy)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = 2;
+    // Shrink L3 so it overflows long before the L2 does.
+    cfg.l3Bank.sizeBytes = 8 * kLineBytes;
+    cfg.l3Bank.assoc = 8;
+    MemorySystem ms(cfg);
+    Addr first = 0x100000;
+    MemAccess a;
+    a.core = 0;
+    a.addr = first;
+    ms.access(a);
+    EXPECT_TRUE(ms.inL2(0, first));
+    // Flood the L3 with other lines from core 1.
+    for (int i = 1; i <= 64; ++i) {
+        MemAccess b;
+        b.core = 1;
+        b.addr = first + Addr(i) * 4096;
+        ms.access(b);
+    }
+    // The line fell out of the (tiny) L3 but core 0 keeps its copy:
+    // non-inclusive hierarchies do not back-invalidate.
+    EXPECT_TRUE(ms.inL2(0, first));
+}
+
+TEST(NonInclusiveL3, RemoteDirtyForwardsWithoutL3Copy)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = 2;
+    cfg.l3Bank.sizeBytes = 8 * kLineBytes;
+    cfg.l3Bank.assoc = 8;
+    MemorySystem ms(cfg);
+    Addr addr = 0x200000;
+    MemAccess store;
+    store.core = 0;
+    store.addr = addr;
+    store.type = AccessType::Store;
+    ms.access(store);
+    // Push the line out of L3 (dirty data stays in core 0's L2).
+    for (int i = 1; i <= 64; ++i) {
+        MemAccess b;
+        b.core = 1;
+        b.addr = addr + Addr(i) * 4096;
+        ms.access(b);
+    }
+    // Core 1 reads it: must be served by cache-to-cache forwarding
+    // (counted as an L3-level hit), not DRAM.
+    MemAccess load;
+    load.core = 1;
+    load.addr = addr;
+    std::uint64_t memBefore = ms.stats(1).memAccesses;
+    AccessResult r = ms.access(load);
+    EXPECT_EQ(r.level, HitLevel::L3);
+    EXPECT_EQ(ms.stats(1).memAccesses, memBefore);
+}
+
+} // anonymous namespace
+} // namespace minnow::mem

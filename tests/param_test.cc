@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P):
+ *  - every workload verifies under every scheduler configuration;
+ *  - runs are deterministic per configuration;
+ *  - graph generators hold their structural invariants across seeds;
+ *  - timing sanity holds across worklists (serial <= parallel work,
+ *    conservation of tasks);
+ *  - timeout handling is graceful for every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "graph/gstats.hh"
+#include "harness/workloads.hh"
+#include "runtime/machine.hh"
+
+namespace minnow
+{
+namespace
+{
+
+using harness::Config;
+using harness::makeWorkload;
+using harness::RunSpec;
+using harness::runExperiment;
+using harness::Workload;
+
+//
+// Workload x configuration correctness sweep.
+//
+
+using WorkloadConfig = std::tuple<std::string, std::string>;
+
+class WorkloadConfigTest
+    : public testing::TestWithParam<WorkloadConfig>
+{
+};
+
+TEST_P(WorkloadConfigTest, VerifiesAtTinyScale)
+{
+    auto [workload, config] = GetParam();
+    Workload w = makeWorkload(workload, 0.03, 5);
+    RunSpec spec;
+    spec.config = harness::parseConfig(config);
+    spec.threads = spec.config == Config::SerialRelaxed ? 1 : 4;
+    spec.machine.numCores = 4;
+    auto r = runExperiment(w, spec);
+    EXPECT_FALSE(r.run.timedOut);
+    EXPECT_TRUE(r.run.verified);
+    EXPECT_GT(r.run.cycles, 0u);
+    EXPECT_GT(r.run.instructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadConfigTest,
+    testing::Combine(
+        testing::Values("sssp", "bfs", "g500", "cc", "pr", "tc",
+                        "bc"),
+        testing::Values("serial", "obim", "fifo", "minnow",
+                        "minnow-pf", "bsp")),
+    [](const testing::TestParamInfo<WorkloadConfig> &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+//
+// Determinism sweep: identical flags -> identical cycle counts.
+//
+
+class DeterminismTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DeterminismTest, SameConfigSameCycles)
+{
+    auto once = [&] {
+        Workload w = makeWorkload("bfs", 0.05, 9);
+        RunSpec spec;
+        spec.config = harness::parseConfig(GetParam());
+        spec.threads = 4;
+        spec.machine.numCores = 4;
+        return runExperiment(w, spec).run.cycles;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, DeterminismTest,
+    testing::Values("obim", "fifo", "minnow", "minnow-pf", "bsp"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+//
+// Generator invariants across seeds.
+//
+
+class GeneratorSeedTest
+    : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorSeedTest, GridInvariants)
+{
+    graph::CsrGraph g = graph::gridGraph(20, 15, 50, GetParam());
+    EXPECT_EQ(g.numNodes(), 300u);
+    // Symmetric: every edge has its reverse.
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            EXPECT_TRUE(g.hasEdge(g.edgeDst(e), v));
+    }
+    graph::GraphStats s = graph::analyzeGraph(g);
+    EXPECT_EQ(s.estDiameter, 33u);
+    EXPECT_EQ(s.reachableFrom0, 300u);
+}
+
+TEST_P(GeneratorSeedTest, RandomGraphInvariants)
+{
+    graph::CsrGraph g = graph::randomGraph(1000, 4.0, GetParam());
+    // Symmetric, no self loops, sorted adjacency, no duplicates.
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto nbrs = g.neighbors(v);
+        EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+        EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) ==
+                    nbrs.end());
+        for (NodeId u : nbrs) {
+            EXPECT_NE(u, v);
+            EXPECT_TRUE(g.hasEdge(u, v));
+        }
+    }
+}
+
+TEST_P(GeneratorSeedTest, RmatSymmetricNoSelfLoops)
+{
+    graph::CsrGraph g = graph::rmatGraph(9, 8, GetParam());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (NodeId u : g.neighbors(v)) {
+            EXPECT_NE(u, v);
+            EXPECT_TRUE(g.hasEdge(u, v));
+        }
+    }
+}
+
+TEST_P(GeneratorSeedTest, BipartitePartsRespected)
+{
+    graph::CsrGraph g =
+        graph::bipartiteGraph(200, 100, 3.0, 0.8, GetParam());
+    for (NodeId v = 0; v < 200; ++v) {
+        for (NodeId u : g.neighbors(v))
+            EXPECT_GE(u, 200u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         testing::Values(1, 7, 42, 1234, 99999));
+
+//
+// Work conservation: tasks executed >= tasks seeded, and every
+// scheduler drains the monitor completely.
+//
+
+class ConservationTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ConservationTest, AllTasksConsumed)
+{
+    Workload w = makeWorkload("cc", 0.03, 11);
+    RunSpec spec;
+    spec.config = harness::parseConfig(GetParam());
+    spec.threads = 4;
+    spec.machine.numCores = 4;
+    auto r = runExperiment(w, spec);
+    ASSERT_FALSE(r.run.timedOut);
+    // CC seeds one task per node part; every one must execute at
+    // least once (plus regenerated ones).
+    EXPECT_GE(r.run.tasks, std::uint64_t(w.graph.numNodes()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, ConservationTest,
+    testing::Values("obim", "fifo", "lifo", "minnow", "minnow-pf"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+//
+// Timeout handling: a tiny event budget must end cleanly with
+// timedOut set, not crash or hang, for every configuration.
+//
+
+class TimeoutTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TimeoutTest, GracefulOnTinyBudget)
+{
+    Workload w = makeWorkload("pr", 0.1, 3);
+    RunSpec spec;
+    spec.config = harness::parseConfig(GetParam());
+    spec.threads = 4;
+    spec.machine.numCores = 4;
+    spec.maxEvents = 2000; // far too small to finish.
+    auto r = runExperiment(w, spec);
+    EXPECT_TRUE(r.run.timedOut);
+    EXPECT_FALSE(r.run.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, TimeoutTest,
+    testing::Values("obim", "minnow", "minnow-pf", "bsp"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+//
+// Credit-count sweep: Minnow prefetching verifies at every credit
+// level, including the degenerate single-credit pool.
+//
+
+class CreditTest : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CreditTest, PrefetchVerifiesAtAnyCreditCount)
+{
+    Workload w = makeWorkload("bfs", 0.05, 21);
+    RunSpec spec;
+    spec.config = Config::MinnowPf;
+    spec.threads = 4;
+    spec.machine.numCores = 4;
+    spec.machine.minnow.prefetchCredits = GetParam();
+    auto r = runExperiment(w, spec);
+    EXPECT_FALSE(r.run.timedOut);
+    EXPECT_TRUE(r.run.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Credits, CreditTest,
+                         testing::Values(1, 2, 8, 32, 256));
+
+//
+// Thread-count sweep: every power of two verifies and total task
+// counts stay sane.
+//
+
+class ThreadsTest : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ThreadsTest, MinnowVerifiesAcrossThreadCounts)
+{
+    Workload w = makeWorkload("sssp", 0.05, 13);
+    RunSpec spec;
+    spec.config = Config::Minnow;
+    spec.threads = GetParam();
+    spec.machine.numCores = std::max(2u, GetParam());
+    auto r = runExperiment(w, spec);
+    EXPECT_FALSE(r.run.timedOut);
+    EXPECT_TRUE(r.run.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadsTest,
+                         testing::Values(1, 2, 3, 4, 8, 16));
+
+//
+// Engine sharing: every sharing degree (Section 4's
+// resource-reduction variant) must stay correct.
+//
+
+class SharingTest : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SharingTest, SharedEnginesVerify)
+{
+    Workload w = makeWorkload("bfs", 0.05, 17);
+    RunSpec spec;
+    spec.config = Config::MinnowPf;
+    spec.threads = 8;
+    spec.machine.numCores = 8;
+    spec.machine.minnow.coresPerEngine = GetParam();
+    auto r = runExperiment(w, spec);
+    EXPECT_FALSE(r.run.timedOut);
+    EXPECT_TRUE(r.run.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoresPerEngine, SharingTest,
+                         testing::Values(1, 2, 3, 4, 8));
+
+} // anonymous namespace
+} // namespace minnow

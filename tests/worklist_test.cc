@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the software worklists driven through real
+ * simulated workers: item conservation, ordering properties (FIFO /
+ * LIFO / OBIM bucket order), stealing, and the strict priority heap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/machine.hh"
+#include "runtime/sim_context.hh"
+#include "runtime/task.hh"
+#include "worklist/chunked.hh"
+#include "worklist/obim.hh"
+#include "worklist/strict_priority.hh"
+
+namespace minnow::worklist
+{
+namespace
+{
+
+using runtime::CoTask;
+using runtime::Machine;
+using runtime::SimContext;
+
+MachineConfig
+tinyConfig(std::uint32_t cores)
+{
+    MachineConfig cfg = scaledMachine();
+    cfg.numCores = cores;
+    return cfg;
+}
+
+/** Push a batch then pop everything from one worker. */
+CoTask<void>
+pushPopAll(SimContext &ctx, Worklist &wl,
+           const std::vector<WorkItem> &in, std::vector<WorkItem> &out)
+{
+    for (const WorkItem &item : in)
+        co_await wl.push(ctx, item);
+    for (;;) {
+        WorkItem item;
+        bool got = co_await wl.pop(ctx, item);
+        if (!got)
+            break;
+        out.push_back(item);
+    }
+}
+
+std::vector<WorkItem>
+runSingle(Worklist &wl, Machine &m, const std::vector<WorkItem> &in)
+{
+    SimContext ctx(&m, 0);
+    std::vector<WorkItem> out;
+    CoTask<void> t = pushPopAll(ctx, wl, in, out);
+    t.start();
+    m.eq.run();
+    EXPECT_TRUE(t.done());
+    return out;
+}
+
+std::vector<WorkItem>
+makeItems(int n)
+{
+    std::vector<WorkItem> items;
+    for (int i = 0; i < n; ++i)
+        items.push_back({i, std::uint64_t(1000 + i)});
+    return items;
+}
+
+TEST(ChunkPool, RecyclesChunks)
+{
+    SimAlloc alloc;
+    ChunkPool pool(&alloc, 8);
+    Chunk *a = pool.acquire();
+    Addr base = a->base;
+    a->items.push_back({1, 2});
+    a->head = 1;
+    pool.release(a);
+    Chunk *b = pool.acquire();
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(b->base, base);
+    EXPECT_TRUE(b->items.empty());
+    EXPECT_EQ(pool.liveChunks(), 1u);
+}
+
+TEST(ChunkedFifo, ConservesAndOrders)
+{
+    Machine m(tinyConfig(2));
+    ChunkedWorklist wl(&m, ChunkedWorklist::Policy::Fifo, 8, 1);
+    auto in = makeItems(40);
+    auto out = runSingle(wl, m, in);
+    ASSERT_EQ(out.size(), in.size());
+    // Single worker: its own unpublished chunk is drained first, but
+    // every item must appear exactly once.
+    std::multiset<std::uint64_t> want, got;
+    for (auto &i : in)
+        want.insert(i.payload);
+    for (auto &o : out)
+        got.insert(o.payload);
+    EXPECT_EQ(want, got);
+    EXPECT_EQ(wl.size(), 0u);
+    EXPECT_TRUE(m.monitor.pending() == 0);
+}
+
+TEST(ChunkedLifo, PrefersNewestChunk)
+{
+    Machine m(tinyConfig(2));
+    ChunkedWorklist wl(&m, ChunkedWorklist::Policy::Lifo, 4, 1);
+    // Seed via pushInitial (goes straight to the global list).
+    for (int i = 0; i < 12; ++i)
+        wl.pushInitial({0, std::uint64_t(i)});
+    auto out = runSingle(wl, m, {});
+    ASSERT_EQ(out.size(), 12u);
+    // LIFO: first pop comes from the newest chunk (items 8..11),
+    // and within it the newest item first.
+    EXPECT_EQ(out[0].payload, 11u);
+}
+
+TEST(ChunkedFifo, InitialSeedsFifoOrder)
+{
+    Machine m(tinyConfig(2));
+    ChunkedWorklist wl(&m, ChunkedWorklist::Policy::Fifo, 4, 1);
+    for (int i = 0; i < 12; ++i)
+        wl.pushInitial({0, std::uint64_t(i)});
+    auto out = runSingle(wl, m, {});
+    ASSERT_EQ(out.size(), 12u);
+    EXPECT_EQ(out[0].payload, 0u);
+    EXPECT_EQ(out.back().payload, 11u);
+}
+
+TEST(Obim, DrainsBucketsInPriorityOrder)
+{
+    Machine m(tinyConfig(2));
+    ObimWorklist wl(&m, 2, 4, 1); // bucket = priority >> 2.
+    for (int i = 0; i < 32; ++i)
+        wl.pushInitial({31 - i, std::uint64_t(31 - i)});
+    auto out = runSingle(wl, m, {});
+    ASSERT_EQ(out.size(), 32u);
+    // Bucket numbers must be nondecreasing over the drain.
+    for (std::size_t i = 1; i < out.size(); ++i) {
+        EXPECT_LE(out[i - 1].priority >> 2, out[i].priority >> 2)
+            << "at index " << i;
+    }
+}
+
+TEST(Obim, PushRespectsBuckets)
+{
+    Machine m(tinyConfig(2));
+    ObimWorklist wl(&m, 0, 4, 1); // strict buckets.
+    std::vector<WorkItem> in;
+    for (int i : {9, 3, 7, 1, 5, 0, 8, 2, 6, 4})
+        in.push_back({i, std::uint64_t(i)});
+    auto out = runSingle(wl, m, in);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].priority, out[i].priority);
+}
+
+TEST(Obim, NegativePriorities)
+{
+    Machine m(tinyConfig(2));
+    ObimWorklist wl(&m, 3, 4, 1);
+    std::vector<WorkItem> in = {
+        {-100, 1}, {50, 2}, {-7, 3}, {0, 4}, {-100, 5}};
+    auto out = runSingle(wl, m, in);
+    ASSERT_EQ(out.size(), 5u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].priority >> 3, out[i].priority >> 3);
+    EXPECT_EQ(out[0].priority, -100);
+}
+
+TEST(Strict, ExactPriorityOrder)
+{
+    Machine m(tinyConfig(2));
+    StrictPriorityWorklist wl(&m);
+    std::vector<WorkItem> in;
+    for (int i : {9, 3, 7, 1, 5, 0, 8, 2, 6, 4})
+        in.push_back({i, std::uint64_t(i)});
+    auto out = runSingle(wl, m, in);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].priority, out[i].priority);
+    EXPECT_EQ(out[0].priority, 0);
+}
+
+/** Two workers: one produces, one steals. */
+TEST(ChunkedFifo, CrossWorkerStealing)
+{
+    Machine m(tinyConfig(2));
+    ChunkedWorklist wl(&m, ChunkedWorklist::Policy::Fifo, 4, 2);
+    // Producer on core 0 (package 0), consumer on core 1 (package 1
+    // with 2 packages over 2 cores).
+    SimContext producer(&m, 0), consumer(&m, 1);
+    std::vector<WorkItem> stolen;
+
+    auto produce = [](SimContext &ctx,
+                      Worklist &wl) -> CoTask<void> {
+        for (int i = 0; i < 16; ++i)
+            co_await wl.push(ctx, {0, std::uint64_t(i)});
+    };
+    auto consume = [](SimContext &ctx, Worklist &wl,
+                      std::vector<WorkItem> &out) -> CoTask<void> {
+        // Wait until the producer published something.
+        for (int attempts = 0; attempts < 100; ++attempts) {
+            WorkItem item;
+            bool got = co_await wl.pop(ctx, item);
+            if (got)
+                out.push_back(item);
+            co_await ctx.waitUntil(ctx.eq().now() + 500);
+        }
+    };
+    CoTask<void> p = produce(producer, wl);
+    CoTask<void> c = consume(consumer, wl, stolen);
+    p.start();
+    c.start();
+    m.eq.run();
+    EXPECT_TRUE(p.done());
+    EXPECT_TRUE(c.done());
+    EXPECT_GT(stolen.size(), 0u) << "consumer must steal published"
+                                    " chunks from the other package";
+}
+
+TEST(Worklists, PopCostsCycles)
+{
+    Machine m(tinyConfig(2));
+    ChunkedWorklist wl(&m, ChunkedWorklist::Policy::Fifo, 8, 1);
+    for (int i = 0; i < 8; ++i)
+        wl.pushInitial({0, std::uint64_t(i)});
+    auto out = runSingle(wl, m, {});
+    EXPECT_EQ(out.size(), 8u);
+    const auto &st = m.cores[0]->stats();
+    EXPECT_GT(st.phases[int(cpu::Phase::Worklist)].cycles, 0u);
+    EXPECT_GT(st.uops, 0u);
+}
+
+} // anonymous namespace
+} // namespace minnow::worklist
