@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_engine_sharing.dir/abl_engine_sharing.cc.o"
+  "CMakeFiles/abl_engine_sharing.dir/abl_engine_sharing.cc.o.d"
+  "abl_engine_sharing"
+  "abl_engine_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_engine_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_minnow_structures.dir/abl_minnow_structures.cc.o"
+  "CMakeFiles/abl_minnow_structures.dir/abl_minnow_structures.cc.o.d"
+  "abl_minnow_structures"
+  "abl_minnow_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_minnow_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

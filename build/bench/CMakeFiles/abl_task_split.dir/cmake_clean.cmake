@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_task_split.dir/abl_task_split.cc.o"
+  "CMakeFiles/abl_task_split.dir/abl_task_split.cc.o.d"
+  "abl_task_split"
+  "abl_task_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_task_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

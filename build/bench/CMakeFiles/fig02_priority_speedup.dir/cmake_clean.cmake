@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_priority_speedup.dir/fig02_priority_speedup.cc.o"
+  "CMakeFiles/fig02_priority_speedup.dir/fig02_priority_speedup.cc.o.d"
+  "fig02_priority_speedup"
+  "fig02_priority_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_priority_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_scheduler_zoo.dir/fig03_scheduler_zoo.cc.o"
+  "CMakeFiles/fig03_scheduler_zoo.dir/fig03_scheduler_zoo.cc.o.d"
+  "fig03_scheduler_zoo"
+  "fig03_scheduler_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_scheduler_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rob_sweep.dir/fig04_rob_sweep.cc.o"
+  "CMakeFiles/fig04_rob_sweep.dir/fig04_rob_sweep.cc.o.d"
+  "fig04_rob_sweep"
+  "fig04_rob_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rob_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

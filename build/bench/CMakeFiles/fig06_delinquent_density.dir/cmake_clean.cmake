@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_delinquent_density.dir/fig06_delinquent_density.cc.o"
+  "CMakeFiles/fig06_delinquent_density.dir/fig06_delinquent_density.cc.o.d"
+  "fig06_delinquent_density"
+  "fig06_delinquent_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_delinquent_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

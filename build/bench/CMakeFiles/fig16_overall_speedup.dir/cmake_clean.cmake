@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_overall_speedup.dir/fig16_overall_speedup.cc.o"
+  "CMakeFiles/fig16_overall_speedup.dir/fig16_overall_speedup.cc.o.d"
+  "fig16_overall_speedup"
+  "fig16_overall_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_overall_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_imp_comparison.dir/fig17_imp_comparison.cc.o"
+  "CMakeFiles/fig17_imp_comparison.dir/fig17_imp_comparison.cc.o.d"
+  "fig17_imp_comparison"
+  "fig17_imp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_imp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

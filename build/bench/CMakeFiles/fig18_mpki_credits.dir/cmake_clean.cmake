@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_mpki_credits.dir/fig18_mpki_credits.cc.o"
+  "CMakeFiles/fig18_mpki_credits.dir/fig18_mpki_credits.cc.o.d"
+  "fig18_mpki_credits"
+  "fig18_mpki_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mpki_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

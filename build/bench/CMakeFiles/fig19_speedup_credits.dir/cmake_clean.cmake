@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_speedup_credits.dir/fig19_speedup_credits.cc.o"
+  "CMakeFiles/fig19_speedup_credits.dir/fig19_speedup_credits.cc.o.d"
+  "fig19_speedup_credits"
+  "fig19_speedup_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_speedup_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_prefetch_efficiency.dir/fig20_prefetch_efficiency.cc.o"
+  "CMakeFiles/fig20_prefetch_efficiency.dir/fig20_prefetch_efficiency.cc.o.d"
+  "fig20_prefetch_efficiency"
+  "fig20_prefetch_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_prefetch_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_area_model.dir/sec54_area_model.cc.o"
+  "CMakeFiles/sec54_area_model.dir/sec54_area_model.cc.o.d"
+  "sec54_area_model"
+  "sec54_area_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_area_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

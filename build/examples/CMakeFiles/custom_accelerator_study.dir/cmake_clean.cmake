@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_accelerator_study.dir/custom_accelerator_study.cpp.o"
+  "CMakeFiles/custom_accelerator_study.dir/custom_accelerator_study.cpp.o.d"
+  "custom_accelerator_study"
+  "custom_accelerator_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_accelerator_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

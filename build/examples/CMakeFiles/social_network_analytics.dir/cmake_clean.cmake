@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_analytics.dir/social_network_analytics.cpp.o"
+  "CMakeFiles/social_network_analytics.dir/social_network_analytics.cpp.o.d"
+  "social_network_analytics"
+  "social_network_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bc.cc" "src/CMakeFiles/minnow.dir/apps/bc.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/bc.cc.o.d"
+  "/root/repo/src/apps/cc.cc" "src/CMakeFiles/minnow.dir/apps/cc.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/cc.cc.o.d"
+  "/root/repo/src/apps/kcore.cc" "src/CMakeFiles/minnow.dir/apps/kcore.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/kcore.cc.o.d"
+  "/root/repo/src/apps/mis.cc" "src/CMakeFiles/minnow.dir/apps/mis.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/mis.cc.o.d"
+  "/root/repo/src/apps/pr.cc" "src/CMakeFiles/minnow.dir/apps/pr.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/pr.cc.o.d"
+  "/root/repo/src/apps/sssp.cc" "src/CMakeFiles/minnow.dir/apps/sssp.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/sssp.cc.o.d"
+  "/root/repo/src/apps/tc.cc" "src/CMakeFiles/minnow.dir/apps/tc.cc.o" "gcc" "src/CMakeFiles/minnow.dir/apps/tc.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/minnow.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/minnow.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/options.cc" "src/CMakeFiles/minnow.dir/base/options.cc.o" "gcc" "src/CMakeFiles/minnow.dir/base/options.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/minnow.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/minnow.dir/base/stats.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/minnow.dir/base/table.cc.o" "gcc" "src/CMakeFiles/minnow.dir/base/table.cc.o.d"
+  "/root/repo/src/base/trace.cc" "src/CMakeFiles/minnow.dir/base/trace.cc.o" "gcc" "src/CMakeFiles/minnow.dir/base/trace.cc.o.d"
+  "/root/repo/src/bsp/bsp_engine.cc" "src/CMakeFiles/minnow.dir/bsp/bsp_engine.cc.o" "gcc" "src/CMakeFiles/minnow.dir/bsp/bsp_engine.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/minnow.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/minnow.dir/cpu/ooo_core.cc.o.d"
+  "/root/repo/src/galois/executor.cc" "src/CMakeFiles/minnow.dir/galois/executor.cc.o" "gcc" "src/CMakeFiles/minnow.dir/galois/executor.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/minnow.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/minnow.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/minnow.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/minnow.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/minnow.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/minnow.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/gstats.cc" "src/CMakeFiles/minnow.dir/graph/gstats.cc.o" "gcc" "src/CMakeFiles/minnow.dir/graph/gstats.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/minnow.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/minnow.dir/graph/io.cc.o.d"
+  "/root/repo/src/harness/workloads.cc" "src/CMakeFiles/minnow.dir/harness/workloads.cc.o" "gcc" "src/CMakeFiles/minnow.dir/harness/workloads.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/minnow.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/minnow.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/noc.cc" "src/CMakeFiles/minnow.dir/mem/noc.cc.o" "gcc" "src/CMakeFiles/minnow.dir/mem/noc.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/CMakeFiles/minnow.dir/mem/prefetcher.cc.o" "gcc" "src/CMakeFiles/minnow.dir/mem/prefetcher.cc.o.d"
+  "/root/repo/src/minnow/area.cc" "src/CMakeFiles/minnow.dir/minnow/area.cc.o" "gcc" "src/CMakeFiles/minnow.dir/minnow/area.cc.o.d"
+  "/root/repo/src/minnow/engine.cc" "src/CMakeFiles/minnow.dir/minnow/engine.cc.o" "gcc" "src/CMakeFiles/minnow.dir/minnow/engine.cc.o.d"
+  "/root/repo/src/minnow/global_queue.cc" "src/CMakeFiles/minnow.dir/minnow/global_queue.cc.o" "gcc" "src/CMakeFiles/minnow.dir/minnow/global_queue.cc.o.d"
+  "/root/repo/src/minnow/minnow_system.cc" "src/CMakeFiles/minnow.dir/minnow/minnow_system.cc.o" "gcc" "src/CMakeFiles/minnow.dir/minnow/minnow_system.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/minnow.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/minnow.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/minnow.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/minnow.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/worklist/chunked.cc" "src/CMakeFiles/minnow.dir/worklist/chunked.cc.o" "gcc" "src/CMakeFiles/minnow.dir/worklist/chunked.cc.o.d"
+  "/root/repo/src/worklist/obim.cc" "src/CMakeFiles/minnow.dir/worklist/obim.cc.o" "gcc" "src/CMakeFiles/minnow.dir/worklist/obim.cc.o.d"
+  "/root/repo/src/worklist/strict_priority.cc" "src/CMakeFiles/minnow.dir/worklist/strict_priority.cc.o" "gcc" "src/CMakeFiles/minnow.dir/worklist/strict_priority.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

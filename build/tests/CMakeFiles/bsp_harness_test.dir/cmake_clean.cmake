@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_harness_test.dir/bsp_harness_test.cc.o"
+  "CMakeFiles/bsp_harness_test.dir/bsp_harness_test.cc.o.d"
+  "bsp_harness_test"
+  "bsp_harness_test.pdb"
+  "bsp_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

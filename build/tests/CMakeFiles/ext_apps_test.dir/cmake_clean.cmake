@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_apps_test.dir/ext_apps_test.cc.o"
+  "CMakeFiles/ext_apps_test.dir/ext_apps_test.cc.o.d"
+  "ext_apps_test"
+  "ext_apps_test.pdb"
+  "ext_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem2_test.dir/mem2_test.cc.o"
+  "CMakeFiles/mem2_test.dir/mem2_test.cc.o.d"
+  "mem2_test"
+  "mem2_test.pdb"
+  "mem2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
