@@ -8,9 +8,13 @@
  *   --workloads=a,b comma list (default: all seven)
  *   --seed=<n>      generator seed
  *   --max-events=<n> timeout knob
+ *   --stats-json=<path> machine-readable per-run stats dump
+ *                   (schema "minnow-bench-stats-1"; every run's
+ *                   full StatsRegistry snapshot rides along)
  * plus the machine overrides understood by
  * MachineConfig::applyOptions (--rob=, --credits=, --mem-channels=,
- * ...).
+ * ...). The credit-sweep benches (18/19/20) additionally take
+ * --credits-list=a,b to override the swept credit counts.
  *
  * Output convention: each bench prints the paper's rows/series as a
  * fixed-width table, with the paper's published value alongside where
@@ -21,7 +25,9 @@
 #define MINNOW_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/options.hh"
@@ -32,6 +38,89 @@
 namespace minnow::bench
 {
 
+/**
+ * Accumulates one JSON entry per benchmark run and writes the whole
+ * log as {"schema":"minnow-bench-stats-1","runs":[...]} — each run
+ * carries its identifying parameters plus the machine's full
+ * StatsRegistry snapshot (schema "minnow-stats-1") under "stats".
+ *
+ * Shared by value-copied BenchArgs (e.g. inside credit sweeps) via
+ * shared_ptr, so every run of the process lands in one file. The
+ * destructor flushes, so a bench needs no explicit final call.
+ */
+class StatsJsonLog
+{
+  public:
+    explicit StatsJsonLog(std::string path) : path_(std::move(path))
+    {
+    }
+
+    ~StatsJsonLog() { flush(); }
+
+    StatsJsonLog(const StatsJsonLog &) = delete;
+    StatsJsonLog &operator=(const StatsJsonLog &) = delete;
+
+    /** Append one run; @p statsJson is RunResult::statsJson. */
+    void
+    add(const std::string &workload, const std::string &config,
+        std::uint32_t threads, double scale, std::uint64_t seed,
+        std::uint32_t credits, bool timedOut, bool verified,
+        Cycle cycles, std::uint64_t instructions, double l2Mpki,
+        const std::string &statsJson)
+    {
+        char buf[64];
+        std::string e = "{\"workload\":\"" + workload + "\"";
+        e += ",\"config\":\"" + config + "\"";
+        e += ",\"threads\":" + std::to_string(threads);
+        std::snprintf(buf, sizeof buf, "%.6g", scale);
+        e += std::string(",\"scale\":") + buf;
+        e += ",\"seed\":" + std::to_string(seed);
+        e += ",\"credits\":" + std::to_string(credits);
+        e += std::string(",\"timedOut\":") +
+             (timedOut ? "true" : "false");
+        e += std::string(",\"verified\":") +
+             (verified ? "true" : "false");
+        e += ",\"cycles\":" + std::to_string(cycles);
+        e += ",\"instructions\":" + std::to_string(instructions);
+        std::snprintf(buf, sizeof buf, "%.6g", l2Mpki);
+        e += std::string(",\"l2Mpki\":") + buf;
+        e += ",\"stats\":" +
+             (statsJson.empty() ? std::string("{}") : statsJson);
+        e += "}";
+        entries_.push_back(std::move(e));
+        dirty_ = true;
+    }
+
+    /** Write (or rewrite) the log file. */
+    void
+    flush()
+    {
+        if (!dirty_)
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr,
+                         "WARNING: cannot write stats json %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"schema\":\"minnow-bench-stats-1\","
+                        "\"runs\":[");
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            std::fprintf(f, "%s%s", i ? "," : "",
+                         entries_[i].c_str());
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        dirty_ = false;
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::string> entries_;
+    bool dirty_ = true; //!< start true: an empty log still writes.
+};
+
 /** Parsed common flags. */
 struct BenchArgs
 {
@@ -41,6 +130,7 @@ struct BenchArgs
     std::uint64_t maxEvents = 400'000'000;
     std::vector<std::string> workloads;
     std::string statsDir; //!< dump per-run .stats files here.
+    std::shared_ptr<StatsJsonLog> statsJson; //!< --stats-json log.
     MachineConfig machine;
 
     BenchArgs() : machine(scaledMachine()) {}
@@ -59,6 +149,9 @@ parseArgs(const Options &opts, double defaultScale = 1.0,
     a.maxEvents = opts.getUint("max-events", a.maxEvents);
     trace::enableList(opts.getString("debug-flags", ""));
     a.statsDir = opts.getString("stats-dir", "");
+    std::string sj = opts.getString("stats-json", "");
+    if (!sj.empty())
+        a.statsJson = std::make_shared<StatsJsonLog>(sj);
     a.machine.applyOptions(opts);
     if (a.machine.numCores < a.threads)
         a.machine.numCores = a.threads;
@@ -91,6 +184,14 @@ run(harness::Workload &w, harness::Config config,
     spec.verify = verify;
     spec.maxEvents = a.maxEvents;
     harness::ExperimentResult r = harness::runExperiment(w, spec);
+    if (a.statsJson) {
+        a.statsJson->add(w.name, harness::configName(config),
+                         threads, a.scale, a.seed,
+                         a.machine.minnow.prefetchCredits,
+                         r.run.timedOut, r.run.verified,
+                         r.run.cycles, r.run.instructions,
+                         r.run.l2Mpki, r.run.statsJson);
+    }
     if (!a.statsDir.empty()) {
         std::string path = a.statsDir + "/" + w.name + "-" +
                            harness::configName(config) + "-t" +

@@ -9,8 +9,10 @@
 #define MINNOW_BENCH_CREDIT_SWEEP_HH
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "bench_common.hh"
 
 namespace minnow::bench
@@ -38,6 +40,31 @@ inline std::vector<std::uint32_t>
 defaultCredits()
 {
     return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+/**
+ * Swept credit counts: --credits-list=a,b,c overrides the default
+ * nine-point sweep (CI runs a single point to stay fast).
+ */
+inline std::vector<std::uint32_t>
+creditsFromOpts(const Options &opts)
+{
+    std::string list = opts.getString("credits-list", "");
+    if (list.empty())
+        return defaultCredits();
+    std::vector<std::uint32_t> out;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        std::string tok = list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!tok.empty())
+            out.push_back(std::uint32_t(std::stoul(tok)));
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+    }
+    fatal_if(out.empty(), "--credits-list parsed to nothing: '%s'",
+             list.c_str());
+    return out;
 }
 
 /** Run the sweep for one workload. */

@@ -20,9 +20,9 @@ main(int argc, char **argv)
 {
     Options opts(argc, argv);
     BenchArgs args = parseArgs(opts, 1.0, 64);
+    auto credits = creditsFromOpts(opts);
     opts.rejectUnused();
 
-    auto credits = defaultCredits();
     banner("Fig. 18: L2 MPKI vs prefetch credits",
            "no-pf MPKI >20 (except tc); minimum between 32-128"
            " credits");

@@ -19,9 +19,9 @@ main(int argc, char **argv)
 {
     Options opts(argc, argv);
     BenchArgs args = parseArgs(opts, 1.0, 64);
+    auto credits = creditsFromOpts(opts);
     opts.rejectUnused();
 
-    auto credits = defaultCredits();
     banner("Fig. 19: prefetching speedup vs credits (normalized to"
            " Minnow, prefetch off)",
            "gains 1.39x-2.47x; diminishing past 32-64; G500 drops"

@@ -20,9 +20,9 @@ main(int argc, char **argv)
 {
     Options opts(argc, argv);
     BenchArgs args = parseArgs(opts, 1.0, 64);
+    auto credits = creditsFromOpts(opts);
     opts.rejectUnused();
 
-    auto credits = defaultCredits();
     banner("Fig. 20: prefetch efficiency (used-before-evict /"
            " fills) vs credits, plus IMP",
            ">99% at 32 credits for all workloads; IMP much lower");

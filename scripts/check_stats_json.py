@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate the --stats-json output of a bench binary.
+
+Runs a small fig18 credit sweep with --stats-json, then checks the
+emitted document against the "minnow-bench-stats-1" schema: every run
+entry must carry its identifying parameters plus a full
+"minnow-stats-1" registry snapshot, and the minnow-pf runs must
+expose the acceptance metrics (per-core L2 MPKI, prefetch
+coverage/accuracy, credit-stall counters).
+
+Usage: check_stats_json.py <path-to-fig18-binary>
+Exit status 0 on success; prints the first failure otherwise.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+RUN_KEYS = {
+    "workload": str,
+    "config": str,
+    "threads": int,
+    "scale": (int, float),
+    "seed": int,
+    "credits": int,
+    "timedOut": bool,
+    "verified": bool,
+    "cycles": int,
+    "instructions": int,
+    "l2Mpki": (int, float),
+    "stats": dict,
+}
+
+
+def fail(msg):
+    print(f"check_stats_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_run_entry(run, i):
+    for key, ty in RUN_KEYS.items():
+        if key not in run:
+            fail(f"runs[{i}] missing key '{key}'")
+        ok = isinstance(run[key], ty)
+        if ok and ty is int and isinstance(run[key], bool):
+            ok = False  # bool is an int subclass; reject it.
+        if not ok:
+            fail(
+                f"runs[{i}].{key} has type "
+                f"{type(run[key]).__name__}, wanted {ty}"
+            )
+    stats = run["stats"]
+    if stats.get("schema") != "minnow-stats-1":
+        fail(f"runs[{i}].stats.schema != minnow-stats-1")
+    groups = stats.get("groups")
+    if not isinstance(groups, dict) or not groups:
+        fail(f"runs[{i}].stats.groups missing or empty")
+    for gname, group in groups.items():
+        if not isinstance(group, dict):
+            fail(f"runs[{i}] group '{gname}' is not an object")
+        for sname, sval in group.items():
+            if isinstance(sval, dict):
+                if sval.get("type") != "histogram":
+                    fail(
+                        f"runs[{i}] {gname}.{sname}: object stat "
+                        "that is not a histogram"
+                    )
+                counts = sval.get("counts")
+                if not isinstance(counts, list) or not counts:
+                    fail(f"runs[{i}] {gname}.{sname}: bad counts")
+                if sum(counts) != sval.get("total"):
+                    fail(
+                        f"runs[{i}] {gname}.{sname}: counts sum "
+                        f"{sum(counts)} != total {sval.get('total')}"
+                    )
+            elif not isinstance(sval, (int, float)):
+                fail(f"runs[{i}] {gname}.{sname}: non-numeric stat")
+    return groups
+
+
+def check_minnow_pf_groups(groups, i):
+    """The acceptance metrics for an engine+prefetch run."""
+    l2 = [g for g in groups if g.startswith("l2_")]
+    if not l2:
+        fail(f"runs[{i}]: no l2_<N> groups")
+    for g in l2:
+        if "mpki" not in groups[g]:
+            fail(f"runs[{i}]: group {g} lacks mpki")
+    mem = groups.get("mem")
+    if mem is None:
+        fail(f"runs[{i}]: no mem group")
+    for key in ("prefetchCoverage", "prefetchAccuracy"):
+        if key not in mem:
+            fail(f"runs[{i}]: mem group lacks {key}")
+    engines = [g for g in groups if g.startswith("minnow")]
+    if not engines:
+        fail(f"runs[{i}]: no minnow<N> engine groups")
+    for g in engines:
+        if "creditStalls" not in groups[g]:
+            fail(f"runs[{i}]: group {g} lacks creditStalls")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_stats_json.py <fig18-binary>")
+    bench = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "stats.json")
+        cmd = [
+            bench,
+            "--workloads=sssp",
+            "--scale=0.05",
+            "--threads=4",
+            "--cores=4",
+            "--credits-list=4",
+            f"--stats-json={out}",
+        ]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=600
+        )
+        if proc.returncode != 0:
+            fail(
+                f"bench exited {proc.returncode}:\n{proc.stdout}"
+                f"\n{proc.stderr}"
+            )
+        try:
+            with open(out) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot parse {out}: {e}")
+
+    if doc.get("schema") != "minnow-bench-stats-1":
+        fail("top-level schema != minnow-bench-stats-1")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs missing or empty")
+
+    saw_pf = False
+    for i, run in enumerate(runs):
+        groups = check_run_entry(run, i)
+        if run["config"] == "minnow-pf":
+            saw_pf = True
+            check_minnow_pf_groups(groups, i)
+    if not saw_pf:
+        fail("no minnow-pf run in the sweep output")
+
+    print(f"check_stats_json: OK ({len(runs)} runs validated)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,10 @@
 #include "base/stats.hh"
 
+#include <cmath>
 #include <cstdio>
+
+#include "base/logging.hh"
+#include "sim/event_queue.hh"
 
 namespace minnow
 {
@@ -10,6 +14,321 @@ StatsReport::dump(std::FILE *out) const
 {
     for (const auto &[key, value] : values_)
         std::fprintf(out, "%-48s %.6g\n", key.c_str(), value);
+}
+
+double
+FormulaStat::value() const
+{
+    double v = fn_ ? fn_() : 0.0;
+    return std::isfinite(v) ? v : 0.0;
+}
+
+//
+// StatsGroup
+//
+
+Stat &
+StatsGroup::adopt(std::unique_ptr<Stat> s)
+{
+    fatal_if(index_.count(s->name()),
+             "duplicate stat '%s' in group '%s'", s->name().c_str(),
+             name_.c_str());
+    Stat &ref = *s;
+    index_[s->name()] = s.get();
+    stats_.push_back(std::move(s));
+    return ref;
+}
+
+ScalarStat &
+StatsGroup::scalar(const std::string &name, const std::string &desc)
+{
+    return static_cast<ScalarStat &>(
+        adopt(std::make_unique<ScalarStat>(name, desc)));
+}
+
+CounterStat &
+StatsGroup::counter(const std::string &name, const std::string &desc)
+{
+    return static_cast<CounterStat &>(
+        adopt(std::make_unique<CounterStat>(name, desc)));
+}
+
+FormulaStat &
+StatsGroup::formula(const std::string &name, const std::string &desc,
+                    FormulaStat::Fn fn)
+{
+    return static_cast<FormulaStat &>(adopt(
+        std::make_unique<FormulaStat>(name, desc, std::move(fn))));
+}
+
+HistogramStat &
+StatsGroup::histogram(const std::string &name, const std::string &desc,
+                      std::uint64_t bucketWidth, std::uint32_t buckets)
+{
+    return static_cast<HistogramStat &>(
+        adopt(std::make_unique<HistogramStat>(name, desc, bucketWidth,
+                                              buckets)));
+}
+
+const Stat *
+StatsGroup::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : it->second;
+}
+
+//
+// StatsRegistry
+//
+
+StatsGroup &
+StatsRegistry::group(const std::string &name)
+{
+    auto it = groups_.find(name);
+    if (it == groups_.end()) {
+        it = groups_
+                 .emplace(name, std::make_unique<StatsGroup>(name))
+                 .first;
+    }
+    return *it->second;
+}
+
+StatsGroup &
+StatsRegistry::freshGroup(const std::string &name)
+{
+    groups_.erase(name);
+    return group(name);
+}
+
+const StatsGroup *
+StatsRegistry::find(const std::string &name) const
+{
+    auto it = groups_.find(name);
+    return it == groups_.end() ? nullptr : it->second.get();
+}
+
+void
+StatsRegistry::removeGroup(const std::string &name)
+{
+    groups_.erase(name);
+}
+
+std::vector<const StatsGroup *>
+StatsRegistry::groups() const
+{
+    std::vector<const StatsGroup *> out;
+    out.reserve(groups_.size());
+    for (const auto &[name, g] : groups_)
+        out.push_back(g.get());
+    return out;
+}
+
+void
+StatsRegistry::flatten(StatsReport &out) const
+{
+    for (const auto &[gname, g] : groups_) {
+        for (const auto &s : g->stats()) {
+            std::string key = gname + "." + s->name();
+            if (s->kind() == StatKind::Histogram) {
+                const auto &h =
+                    static_cast<const HistogramStat &>(*s);
+                out.add(key + ".mean", h.mean());
+                out.add(key + ".total", double(h.total()));
+            } else {
+                out.add(key, s->value());
+            }
+        }
+    }
+}
+
+void
+StatsRegistry::dumpText(std::FILE *out) const
+{
+    StatsReport flat;
+    flatten(flat);
+    flat.dump(out);
+}
+
+namespace
+{
+
+void
+jsonEscape(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+jsonNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "0";
+        return;
+    }
+    // Counters dominate; print integers without an exponent so JSON
+    // consumers can diff them exactly.
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        out += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        out += buf;
+    }
+}
+
+void
+jsonKey(std::string &out, const std::string &key)
+{
+    out += '"';
+    jsonEscape(out, key);
+    out += "\":";
+}
+
+void
+appendStatJson(std::string &out, const Stat &s)
+{
+    jsonKey(out, s.name());
+    if (s.kind() == StatKind::Histogram) {
+        const auto &h = static_cast<const HistogramStat &>(s);
+        out += "{\"type\":\"histogram\",\"bucketWidth\":";
+        jsonNumber(out, double(h.bucketWidth()));
+        out += ",\"total\":";
+        jsonNumber(out, double(h.total()));
+        out += ",\"mean\":";
+        jsonNumber(out, h.mean());
+        out += ",\"counts\":[";
+        for (std::uint32_t i = 0; i < h.numBuckets(); ++i) {
+            if (i)
+                out += ',';
+            jsonNumber(out, double(h.bucketCount(i)));
+        }
+        out += "]}";
+    } else {
+        jsonNumber(out, s.value());
+    }
+}
+
+} // anonymous namespace
+
+std::string
+StatsRegistry::toJson() const
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\"schema\":\"minnow-stats-1\",\"groups\":{";
+    bool firstGroup = true;
+    for (const auto &[gname, g] : groups_) {
+        if (!firstGroup)
+            out += ',';
+        firstGroup = false;
+        jsonKey(out, gname);
+        out += '{';
+        bool firstStat = true;
+        for (const auto &s : g->stats()) {
+            if (!firstStat)
+                out += ',';
+            firstStat = false;
+            appendStatJson(out, *s);
+        }
+        out += '}';
+    }
+    out += '}';
+    if (!samples_.empty()) {
+        out += ",\"intervals\":[";
+        bool firstSample = true;
+        for (const IntervalSample &is : samples_) {
+            if (!firstSample)
+                out += ',';
+            firstSample = false;
+            out += "{\"cycle\":";
+            jsonNumber(out, double(is.cycle));
+            out += ",\"values\":{";
+            bool firstVal = true;
+            for (const auto &[key, v] : is.values) {
+                if (!firstVal)
+                    out += ',';
+                firstVal = false;
+                jsonKey(out, key);
+                jsonNumber(out, v);
+            }
+            out += "}}";
+        }
+        out += ']';
+    }
+    out += '}';
+    return out;
+}
+
+bool
+StatsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string json = toJson();
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+              json.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    return std::fclose(f) == 0 && ok;
+}
+
+void
+StatsRegistry::startSampling(EventQueue &eq, Cycle interval)
+{
+    fatal_if(interval == 0, "stats sampling interval must be > 0");
+    if (sampler_)
+        return; // already armed.
+    sampler_ = std::make_unique<Sampler>();
+    sampler_->registry = this;
+    sampler_->eq = &eq;
+    sampler_->interval = interval;
+    eq.schedule(eq.now() + interval, &StatsRegistry::sampleEvent,
+                sampler_.get());
+}
+
+void
+StatsRegistry::sampleEvent(void *arg)
+{
+    auto *s = static_cast<Sampler *>(arg);
+    s->registry->recordSample(s->eq->now());
+    // Re-arm only while real work remains; a sampler that kept
+    // rescheduling itself would stop run() from ever draining.
+    if (!s->eq->empty()) {
+        s->eq->schedule(s->eq->now() + s->interval,
+                        &StatsRegistry::sampleEvent, s);
+    }
+}
+
+void
+StatsRegistry::recordSample(Cycle now)
+{
+    IntervalSample is;
+    is.cycle = now;
+    for (const auto &[gname, g] : groups_) {
+        for (const auto &s : g->stats()) {
+            if (s->kind() == StatKind::Histogram)
+                continue;
+            is.values[gname + "." + s->name()] = s->value();
+        }
+    }
+    samples_.push_back(std::move(is));
 }
 
 } // namespace minnow

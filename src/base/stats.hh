@@ -1,22 +1,43 @@
 /**
  * @file
- * Lightweight statistics package.
+ * Statistics package: raw aggregate types plus the hierarchical
+ * registry used for machine-readable dumps.
  *
- * Counters are plain members of the objects they instrument; this
- * header provides the aggregate types (scalar, average, histogram) and
- * a registry used by the harness to dump a stats report at end of run.
+ * Two layers coexist:
+ *
+ *  - Raw aggregates (StatAverage, StatHistogram) and the flat
+ *    StatsReport, kept for hot-path counting and legacy text dumps.
+ *  - The StatsRegistry: named groups ("sim", "core3", "l2_3",
+ *    "minnow0", "worklist") of typed stats — scalars, counters,
+ *    formulas evaluated lazily at dump time (MPKI, prefetch
+ *    accuracy), and fixed-bucket histograms — with JSON export and an
+ *    optional per-interval sampling hook driven off the EventQueue.
+ *
+ * Components register their stats into a group once at construction;
+ * formulas capture references to the component's own counters, so
+ * nothing is paid on the hot path beyond the existing struct
+ * increments. Dumping walks the registry, evaluates formulas, and
+ * emits either "group.stat value" text lines or a JSON document (see
+ * DESIGN.md "Statistics & observability" for the schema).
  */
 
 #ifndef MINNOW_BASE_STATS_HH
 #define MINNOW_BASE_STATS_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/types.hh"
+
 namespace minnow
 {
+
+class EventQueue;
 
 /** Running mean/min/max over a stream of samples. */
 class StatAverage
@@ -135,6 +156,307 @@ class StatsReport
 
   private:
     std::map<std::string, double> values_;
+};
+
+//
+// Hierarchical registry layer.
+//
+
+/** What flavour of stat an entry is (drives JSON rendering). */
+enum class StatKind
+{
+    Scalar,    //!< externally-set double.
+    Counter,   //!< monotonically increasing integer.
+    Formula,   //!< derived; evaluated lazily at dump time.
+    Histogram, //!< fixed-width-bucket distribution.
+};
+
+/** Base of every registry-owned statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc, StatKind kind)
+        : name_(std::move(name)), desc_(std::move(desc)), kind_(kind)
+    {
+    }
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    StatKind kind() const { return kind_; }
+
+    /** Current (or, for formulas, freshly evaluated) value. */
+    virtual double value() const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    StatKind kind_;
+};
+
+/** A plain assignable double. */
+class ScalarStat : public Stat
+{
+  public:
+    ScalarStat(std::string name, std::string desc)
+        : Stat(std::move(name), std::move(desc), StatKind::Scalar)
+    {
+    }
+
+    ScalarStat &
+    operator=(double v)
+    {
+        v_ = v;
+        return *this;
+    }
+
+    ScalarStat &
+    operator+=(double v)
+    {
+        v_ += v;
+        return *this;
+    }
+
+    double value() const override { return v_; }
+
+  private:
+    double v_ = 0;
+};
+
+/** A monotonically increasing event counter. */
+class CounterStat : public Stat
+{
+  public:
+    CounterStat(std::string name, std::string desc)
+        : Stat(std::move(name), std::move(desc), StatKind::Counter)
+    {
+    }
+
+    CounterStat &
+    operator++()
+    {
+        v_ += 1;
+        return *this;
+    }
+
+    CounterStat &
+    operator+=(std::uint64_t n)
+    {
+        v_ += n;
+        return *this;
+    }
+
+    std::uint64_t count() const { return v_; }
+    double value() const override { return double(v_); }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/**
+ * A derived stat (MPKI, prefetch accuracy, ...) evaluated whenever
+ * the registry is dumped or sampled. The callable typically captures
+ * pointers to component counters; it must stay valid for the life of
+ * the group (components deregister their group on destruction).
+ * Non-finite results (0/0 divisions) read as 0.
+ */
+class FormulaStat : public Stat
+{
+  public:
+    using Fn = std::function<double()>;
+
+    FormulaStat(std::string name, std::string desc, Fn fn)
+        : Stat(std::move(name), std::move(desc), StatKind::Formula),
+          fn_(std::move(fn))
+    {
+    }
+
+    double value() const override;
+
+  private:
+    Fn fn_;
+};
+
+/**
+ * Fixed-bucket histogram: @p buckets linear buckets of @p bucketWidth
+ * each, the last one catching overflow. Used for bounded-range
+ * distributions such as worklist-pop latency and threadlet-queue
+ * occupancy.
+ */
+class HistogramStat : public Stat
+{
+  public:
+    HistogramStat(std::string name, std::string desc,
+                  std::uint64_t bucketWidth, std::uint32_t buckets)
+        : Stat(std::move(name), std::move(desc), StatKind::Histogram),
+          width_(bucketWidth ? bucketWidth : 1),
+          counts_(buckets ? buckets : 1)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t b = std::size_t(v / width_);
+        if (b >= counts_.size())
+            b = counts_.size() - 1;
+        counts_[b] += 1;
+        total_ += 1;
+        sum_ += v;
+    }
+
+    std::uint64_t bucketWidth() const { return width_; }
+    std::uint32_t numBuckets() const
+    {
+        return std::uint32_t(counts_.size());
+    }
+    std::uint64_t bucketCount(std::uint32_t i) const
+    {
+        return counts_[i];
+    }
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? double(sum_) / total_ : 0.0; }
+
+    /** Histograms report their mean as the scalar value. */
+    double value() const override { return mean(); }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** One named group of stats ("core7", "minnow0", "worklist"). */
+class StatsGroup
+{
+  public:
+    explicit StatsGroup(std::string name) : name_(std::move(name)) {}
+
+    StatsGroup(const StatsGroup &) = delete;
+    StatsGroup &operator=(const StatsGroup &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    ScalarStat &scalar(const std::string &name,
+                       const std::string &desc = "");
+    CounterStat &counter(const std::string &name,
+                         const std::string &desc = "");
+    FormulaStat &formula(const std::string &name,
+                         const std::string &desc, FormulaStat::Fn fn);
+    HistogramStat &histogram(const std::string &name,
+                             const std::string &desc,
+                             std::uint64_t bucketWidth,
+                             std::uint32_t buckets);
+
+    /** Lookup; nullptr when absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** Stats in registration order. */
+    const std::vector<std::unique_ptr<Stat>> &stats() const
+    {
+        return stats_;
+    }
+
+  private:
+    /** Register @p s; fatal() on a duplicate name. */
+    Stat &adopt(std::unique_ptr<Stat> s);
+
+    std::string name_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+    std::map<std::string, Stat *> index_;
+};
+
+/**
+ * The hierarchical registry: a name -> group map with text/JSON
+ * export and optional interval sampling.
+ *
+ * Group naming scheme (see DESIGN.md): "sim" for run-global stats,
+ * "core<N>" per core, "l2_<N>" per private cache slice, "minnow<N>"
+ * per engine, "worklist" for the software scheduler, "mem" for
+ * hierarchy totals.
+ */
+class StatsRegistry
+{
+  public:
+    /** One flattened snapshot captured by the sampling hook. */
+    struct IntervalSample
+    {
+        Cycle cycle = 0;
+        std::map<std::string, double> values;
+    };
+
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** Get-or-create a group. */
+    StatsGroup &group(const std::string &name);
+
+    /**
+     * Create a group, discarding any previous one of that name (for
+     * components re-attached to a reused machine, e.g. a second
+     * MinnowSystem).
+     */
+    StatsGroup &freshGroup(const std::string &name);
+
+    /** Lookup; nullptr when absent. */
+    const StatsGroup *find(const std::string &name) const;
+
+    /** Drop a group (component teardown invalidates its formulas). */
+    void removeGroup(const std::string &name);
+
+    /** Groups in name order. */
+    std::vector<const StatsGroup *> groups() const;
+
+    /** Flatten every stat into "group.stat" keys of a report. */
+    void flatten(StatsReport &out) const;
+
+    /** Text dump: "group.stat value" lines, sorted. */
+    void dumpText(std::FILE *out) const;
+
+    /** Serialize groups (+ interval samples) as a JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false on I/O error. */
+    bool writeJsonFile(const std::string &path) const;
+
+    /**
+     * Sample all non-histogram stats every @p interval cycles, driven
+     * by events on @p eq. The sampler re-arms only while other events
+     * remain pending, so it never keeps a drained simulation alive.
+     * The registry must outlive the event queue's run.
+     */
+    void startSampling(EventQueue &eq, Cycle interval);
+
+    const std::vector<IntervalSample> &samples() const
+    {
+        return samples_;
+    }
+
+  private:
+    struct Sampler
+    {
+        StatsRegistry *registry = nullptr;
+        EventQueue *eq = nullptr;
+        Cycle interval = 0;
+    };
+
+    static void sampleEvent(void *arg);
+    void recordSample(Cycle now);
+
+    std::map<std::string, std::unique_ptr<StatsGroup>> groups_;
+    std::unique_ptr<Sampler> sampler_;
+    std::vector<IntervalSample> samples_;
 };
 
 } // namespace minnow

@@ -52,8 +52,15 @@ enableList(const std::string &csv)
         std::size_t comma = csv.find(',', pos);
         std::size_t end =
             comma == std::string::npos ? csv.size() : comma;
-        if (end > pos)
-            enable(csv.substr(pos, end - pos));
+        // Accept "Exec, Cache": whitespace around a token is not
+        // part of the flag name.
+        std::size_t b = pos, e = end;
+        while (b < e && (csv[b] == ' ' || csv[b] == '\t'))
+            ++b;
+        while (e > b && (csv[e - 1] == ' ' || csv[e - 1] == '\t'))
+            --e;
+        if (e > b)
+            enable(csv.substr(b, e - b));
         pos = end + 1;
     }
 }

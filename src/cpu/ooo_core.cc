@@ -25,6 +25,46 @@ OooCore::OooCore(CoreId id, const CoreParams &params,
 {
 }
 
+void
+OooCore::registerStats(StatsGroup &g)
+{
+    const CoreStats *s = &stats_;
+    auto count = [&](const char *name, const char *desc,
+                     const std::uint64_t *field) {
+        g.formula(name, desc, [field] { return double(*field); });
+    };
+    count("uops", "micro-ops dispatched", &s->uops);
+    count("loads", "loads issued (incl. cheap)", &s->loads);
+    count("cheapLoads", "always-L1-hit loads", &s->cheapLoads);
+    count("delinquentLoads", "first-touch node/edge loads",
+          &s->delinquentLoads);
+    count("stores", "stores issued", &s->stores);
+    count("atomics", "atomic RMWs issued", &s->atomics);
+    count("branches", "conditional branches resolved", &s->branches);
+    count("mispredicts", "branches mispredicted", &s->mispredicts);
+    g.formula("branchStallCycles", "frontend cycles lost to redirects",
+              [s] { return double(s->branchStallCycles); });
+    g.formula("fenceStallCycles", "cycles atomics waited on TSO fences",
+              [s] { return double(s->fenceStallCycles); });
+    g.formula("robStallCycles", "dispatch cycles lost to a full ROB",
+              [s] { return double(s->robStallCycles); });
+    g.formula("mispredictRate", "mispredicts per branch", [s] {
+        return s->branches
+                   ? double(s->mispredicts) / double(s->branches)
+                   : 0.0;
+    });
+    static const char *phaseNames[3] = {"app", "worklist", "idle"};
+    for (int p = 0; p < 3; ++p) {
+        const PhaseStats *ps = &s->phases[p];
+        std::string base = phaseNames[p];
+        g.formula(base + "Cycles",
+                  "frontier cycles accrued in this phase",
+                  [ps] { return double(ps->cycles); });
+        g.formula(base + "Uops", "uops accrued in this phase",
+                  [ps] { return double(ps->uops); });
+    }
+}
+
 Cycle
 OooCore::frontier() const
 {

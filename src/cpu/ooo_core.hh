@@ -35,6 +35,7 @@
 #include <deque>
 
 #include "base/rng.hh"
+#include "base/stats.hh"
 #include "base/types.hh"
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
@@ -200,6 +201,12 @@ class OooCore
     CoreId id() const { return id_; }
     const CoreStats &stats() const { return stats_; }
     void resetStats() { stats_ = CoreStats{}; }
+
+    /**
+     * Register this core's counters into @p g as dump-time formulas
+     * over the live CoreStats (no hot-path cost).
+     */
+    void registerStats(StatsGroup &g);
 
   private:
     /**

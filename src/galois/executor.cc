@@ -22,15 +22,28 @@ struct WorkerState
     std::uint64_t pops = 0;
 };
 
+/** Stats shared by all workers of one run ("worklist" group). */
+struct WorklistRunStats
+{
+    HistogramStat *popLatency = nullptr;
+    CounterStat *pops = nullptr;
+};
+
 /** The worker main loop: pop - run operator - repeat - park. */
 CoTask<void>
 workerLoop(SimContext &ctx, worklist::Worklist &wl, apps::App &app,
-           WorklistSink &sink, WorkerState &state)
+           WorklistSink &sink, WorkerState &state,
+           WorklistRunStats &wstats)
 {
     for (;;) {
         ctx.core().setPhase(cpu::Phase::Worklist);
         worklist::WorkItem item;
+        Cycle popStart = ctx.eq().now();
         bool got = co_await wl.pop(ctx, item);
+        if (got) {
+            wstats.popLatency->sample(ctx.eq().now() - popStart);
+            ++*wstats.pops;
+        }
         if (!got) {
             ctx.core().setPhase(cpu::Phase::Idle);
             bool more = co_await ctx.monitor().waitForWork();
@@ -111,6 +124,11 @@ collectResult(runtime::Machine &machine, apps::App &app,
     r.report.add("workload.updates", double(r.workload.updates));
     r.report.add("workload.pushes", double(r.workload.pushes));
     machine.memory.report(r.report, "mem");
+
+    // Hierarchical registry: flatten into the legacy report and
+    // snapshot the JSON form while every component is still alive.
+    machine.stats.flatten(r.report);
+    r.statsJson = machine.stats.toJson();
     return r;
 }
 
@@ -132,6 +150,14 @@ runParallel(runtime::Machine &machine, apps::App &app,
     for (const worklist::WorkItem &item : app.initialWork())
         wl.pushInitial(item);
 
+    // The software scheduler's own observability group. freshGroup:
+    // a reused machine replaces the previous run's worklist stats.
+    StatsGroup &wg = machine.stats.freshGroup("worklist");
+    WorklistRunStats wstats;
+    wstats.popLatency = &wg.histogram(
+        "popLatency", "cycles a worker spent inside pop", 64, 32);
+    wstats.pops = &wg.counter("pops", "successful dequeues");
+
     std::vector<std::unique_ptr<SimContext>> contexts;
     std::vector<WorkerState> states(cfg.threads);
     std::vector<CoTask<void>> workers;
@@ -143,7 +169,7 @@ runParallel(runtime::Machine &machine, apps::App &app,
             std::make_unique<SimContext>(&machine, i));
         contexts.back()->serialMode = cfg.serialRelaxed;
         workers.push_back(workerLoop(*contexts[i], wl, app, sink,
-                                     states[i]));
+                                     states[i], wstats));
     }
     for (auto &w : workers)
         w.start();

@@ -72,6 +72,13 @@ struct RunResult
     /** Full dotted-key stats dump (see base/stats.hh). */
     StatsReport report;
 
+    /**
+     * JSON snapshot of the machine's StatsRegistry taken at collect
+     * time (schema "minnow-stats-1"; see DESIGN.md). Safe to keep
+     * after the machine is gone.
+     */
+    std::string statsJson;
+
     double
     mlpProxyIpc() const
     {

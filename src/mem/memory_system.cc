@@ -455,6 +455,144 @@ MemorySystem::report(StatsReport &out, const std::string &prefix) const
     out.add(prefix + ".dramQueueCycles", double(dram_.queueCycles()));
 }
 
+namespace
+{
+
+/**
+ * Register every MemStats field of @p s into @p g as dump-time
+ * formulas, plus the derived prefetch metrics: accuracy (used fills
+ * over all fills) and coverage (demand misses absorbed by prefetched
+ * lines over all would-be misses).
+ */
+void
+registerMemStats(StatsGroup &g, const MemStats *s)
+{
+    auto count = [&](const char *name, const char *desc,
+                     const std::uint64_t *field) {
+        g.formula(name, desc, [field] { return double(*field); });
+    };
+    count("loads", "demand loads observed", &s->loads);
+    count("stores", "stores observed", &s->stores);
+    count("atomics", "atomic RMWs observed", &s->atomics);
+    count("engineAccesses", "Minnow engine L2 accesses",
+          &s->engineAccesses);
+    count("l1Hits", "hits in the private L1D", &s->l1Hits);
+    count("l2Hits", "hits in the private L2", &s->l2Hits);
+    count("l2HitsUnderFill", "demand hits on in-flight prefetches",
+          &s->l2HitsUnderFill);
+    count("l2DemandMisses", "core demand misses past the L2",
+          &s->l2DemandMisses);
+    count("l3Hits", "hits in the shared L3", &s->l3Hits);
+    count("memAccesses", "accesses served by DRAM", &s->memAccesses);
+    count("invalidationsSent", "invalidations issued by the directory",
+          &s->invalidationsSent);
+    count("invalidationsTaken", "invalidations absorbed",
+          &s->invalidationsTaken);
+    count("writebacks", "dirty evictions written back",
+          &s->writebacks);
+    count("prefetchFills", "prefetch-marked L2 fills",
+          &s->prefetchFills);
+    count("prefetchUsed", "prefetched lines consumed by demand",
+          &s->prefetchUsed);
+    count("prefetchUsedLate", "prefetches consumed while in flight",
+          &s->prefetchUsedLate);
+    count("prefetchEvictedUnused", "prefetched lines evicted unused",
+          &s->prefetchEvictedUnused);
+    count("prefetchInvalidated", "prefetched lines invalidated",
+          &s->prefetchInvalidated);
+    count("prefetchRedundant", "prefetches to already-present lines",
+          &s->prefetchRedundant);
+    g.formula("prefetchAccuracy",
+              "fraction of prefetch fills consumed by demand", [s] {
+                  return s->prefetchFills
+                             ? double(s->prefetchUsed) /
+                                   double(s->prefetchFills)
+                             : 0.0;
+              });
+    g.formula("prefetchCoverage",
+              "demand misses absorbed by prefetched lines", [s] {
+                  std::uint64_t wouldMiss =
+                      s->prefetchUsed + s->l2DemandMisses;
+                  return wouldMiss ? double(s->prefetchUsed) /
+                                         double(wouldMiss)
+                                   : 0.0;
+              });
+}
+
+} // anonymous namespace
+
+void
+MemorySystem::registerCoreStats(StatsGroup &g, CoreId i)
+{
+    registerMemStats(g, &stats_[i]);
+}
+
+void
+MemorySystem::registerStats(StatsRegistry &reg)
+{
+    StatsGroup &g = reg.group("mem");
+    // Totals are recomputed per formula evaluation; that is O(cores)
+    // work paid only at dump/sample time.
+    auto total = [&](const char *name, const char *desc,
+                     std::uint64_t MemStats::*field) {
+        g.formula(name, desc, [this, field] {
+            return double(totals().*field);
+        });
+    };
+    total("loads", "demand loads observed", &MemStats::loads);
+    total("stores", "stores observed", &MemStats::stores);
+    total("atomics", "atomic RMWs observed", &MemStats::atomics);
+    total("engineAccesses", "Minnow engine L2 accesses",
+          &MemStats::engineAccesses);
+    total("l1Hits", "hits in private L1Ds", &MemStats::l1Hits);
+    total("l2Hits", "hits in private L2s", &MemStats::l2Hits);
+    total("l2DemandMisses", "core demand misses past the L2",
+          &MemStats::l2DemandMisses);
+    total("l3Hits", "hits in the shared L3", &MemStats::l3Hits);
+    total("memAccesses", "accesses served by DRAM",
+          &MemStats::memAccesses);
+    total("writebacks", "dirty evictions written back",
+          &MemStats::writebacks);
+    total("invalidationsSent",
+          "invalidations issued by the directory",
+          &MemStats::invalidationsSent);
+    total("prefetchFills", "prefetch-marked L2 fills",
+          &MemStats::prefetchFills);
+    total("prefetchUsed", "prefetched lines consumed by demand",
+          &MemStats::prefetchUsed);
+    total("prefetchUsedLate", "prefetches consumed while in flight",
+          &MemStats::prefetchUsedLate);
+    total("prefetchEvictedUnused",
+          "prefetched lines evicted unused",
+          &MemStats::prefetchEvictedUnused);
+    g.formula("prefetchAccuracy",
+              "fraction of prefetch fills consumed by demand",
+              [this] {
+                  MemStats t = totals();
+                  return t.prefetchFills
+                             ? double(t.prefetchUsed) /
+                                   double(t.prefetchFills)
+                             : 0.0;
+              });
+    g.formula("prefetchCoverage",
+              "demand misses absorbed by prefetched lines", [this] {
+                  MemStats t = totals();
+                  std::uint64_t wouldMiss =
+                      t.prefetchUsed + t.l2DemandMisses;
+                  return wouldMiss ? double(t.prefetchUsed) /
+                                         double(wouldMiss)
+                                   : 0.0;
+              });
+    g.formula("nocMessages", "NoC messages routed",
+              [this] { return double(noc_.messages()); });
+    g.formula("nocContention", "NoC cycles lost to link contention",
+              [this] { return double(noc_.contentionCycles()); });
+    g.formula("dramAccesses", "DRAM line transfers",
+              [this] { return double(dram_.accesses()); });
+    g.formula("dramQueueCycles", "DRAM channel queueing cycles",
+              [this] { return double(dram_.queueCycles()); });
+}
+
 bool
 MemorySystem::inL1(CoreId core, Addr addr) const
 {

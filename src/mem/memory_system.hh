@@ -158,6 +158,19 @@ class MemorySystem
     /** Aggregate stats into a report under the given prefix. */
     void report(StatsReport &out, const std::string &prefix) const;
 
+    /**
+     * Register hierarchy totals (plus NoC/DRAM counters and the
+     * derived prefetch coverage/accuracy) as the "mem" group.
+     */
+    void registerStats(StatsRegistry &reg);
+
+    /**
+     * Register core @p i's private-cache counters into @p g (the
+     * machine's "l2_<i>" group), including per-slice prefetch
+     * coverage and accuracy formulas.
+     */
+    void registerCoreStats(StatsGroup &g, CoreId i);
+
     /** Probe helpers for tests. */
     bool inL1(CoreId core, Addr addr) const;
     bool inL2(CoreId core, Addr addr) const;

@@ -36,10 +36,13 @@ StridePrefetcher::observe(const LoadObservation &obs,
     if (stride != 0 && stride == e.stride) {
         if (e.confidence < 4)
             ++e.confidence;
-    } else {
+    } else if (stride != 0) {
         e.stride = stride;
-        e.confidence = stride == 0 ? e.confidence : 0;
+        e.confidence = 0;
     }
+    // stride == 0 is a re-reference of the same line (a flag poll,
+    // a spin loop), not a new stream: leave the learned stride and
+    // its confidence untouched.
     e.lastAddr = obs.addr;
     if (e.confidence >= 2 && e.stride != 0) {
         for (std::uint32_t d = 0; d < degree_; ++d) {

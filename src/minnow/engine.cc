@@ -1,6 +1,7 @@
 #include "minnow/engine.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "base/logging.hh"
 #include "base/trace.hh"
@@ -134,6 +135,85 @@ MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
     prefetchWindow_ = params_.prefetchWindow
         ? params_.prefetchWindow
         : std::max(4u, params_.prefetchCredits / 4);
+
+    registerStats();
+}
+
+MinnowEngine::~MinnowEngine()
+{
+    // Formulas registered below point into this object; drop the
+    // group so a later dump cannot chase dangling pointers.
+    machine_->stats.removeGroup(statsGroupName_);
+}
+
+void
+MinnowEngine::registerStats()
+{
+    statsGroupName_ = "minnow" + std::to_string(core_);
+    // freshGroup: a machine reused across runs rebuilds its engines,
+    // and the new engine's stats must replace the old ones.
+    StatsGroup &g = machine_->stats.freshGroup(statsGroupName_);
+
+    auto count = [&g, this](const char *name, const char *desc,
+                            std::uint64_t EngineStats::*field) {
+        g.formula(name, desc,
+                  [this, field] { return double(stats_.*field); });
+    };
+    count("enqueues", "accelerator enqueue calls",
+          &EngineStats::enqueues);
+    count("dequeues", "accelerator dequeue calls",
+          &EngineStats::dequeues);
+    count("dequeueLocalHits", "dequeues served from the local queue",
+          &EngineStats::dequeueLocalHits);
+    count("dequeueBlocks", "dequeues that blocked the core",
+          &EngineStats::dequeueBlocks);
+    count("spillsSpawned", "spill threadlets spawned",
+          &EngineStats::spillsSpawned);
+    count("fillBatches", "fill-daemon batches pulled",
+          &EngineStats::fillBatches);
+    count("itemsFilled", "tasks pulled from the global queue",
+          &EngineStats::itemsFilled);
+    count("prefetchTasks", "prefetchTask threadlets started",
+          &EngineStats::prefetchTasks);
+    count("prefetchEdges", "edges visited by prefetch threadlets",
+          &EngineStats::prefetchEdges);
+    count("prefetchLoads", "prefetch loads issued to the L2",
+          &EngineStats::prefetchLoads);
+    count("creditStalls", "prefetch loads that waited for a credit",
+          &EngineStats::creditStalls);
+    count("loadBufStalls", "threadlet waits for a load-buffer slot",
+          &EngineStats::loadBufStalls);
+    count("threadletsSpawned", "threadlets started",
+          &EngineStats::threadletsSpawned);
+    count("prefetchDeferred", "prefetch tasks queued for lack of slots",
+          &EngineStats::prefetchDeferred);
+    count("prefetchPendingPeak", "peak deferred-prefetch queue depth",
+          &EngineStats::prefetchPendingPeak);
+    count("prefetchCancelled", "prefetch threadlets aborted as stale",
+          &EngineStats::prefetchCancelled);
+    g.formula("cuBusyCycles", "control-unit busy cycles",
+              [this] { return double(stats_.cuBusyCycles); });
+    g.formula("dequeueLocalHitRate",
+              "fraction of dequeues served without blocking",
+              [this] {
+                  return stats_.dequeues
+                      ? double(stats_.dequeueLocalHits) /
+                            double(stats_.dequeues)
+                      : 0.0;
+              });
+    g.formula("creditsFree", "prefetch credits free right now",
+              [this] { return double(creditsFree_); });
+    g.formula("localQueueSize", "local-queue depth right now",
+              [this] { return double(localQ_.size()); });
+
+    dequeueLatencyHist_ = &g.histogram(
+        "dequeueLatency", "cycles from dequeue call to task delivery",
+        16, 32);
+    std::uint32_t occWidth =
+        std::max(1u, params_.threadletQueueEntries / 16);
+    threadletOccupancyHist_ = &g.histogram(
+        "threadletOccupancy",
+        "threadlet-queue slots in use at each spawn", occWidth, 20);
 }
 
 Cycle
@@ -283,6 +363,9 @@ void
 MinnowEngine::adoptThreadlet(CoTask<void> body)
 {
     stats_.threadletsSpawned += 1;
+    threadletOccupancyHist_->sample(params_.threadletQueueEntries -
+                                    threadletSlotsFree_ -
+                                    prefetchSlotsFree_);
     sweepThreadlets();
     body.start();
     threadlets_.push_back(std::move(body));
@@ -484,6 +567,7 @@ MinnowEngine::dequeue(SimContext &ctx)
     PhaseGuard guard(ctx, cpu::Phase::Worklist);
     stats_.dequeues += 1;
     ctx.compute(1);
+    Cycle dqStart = ctx.now();
     Cycle t = ctx.now() + params_.localQueueLatency;
     co_await ctx.waitUntil(t);
     ctx.core().idleUntil(machine_->eq.now());
@@ -493,6 +577,7 @@ MinnowEngine::dequeue(SimContext &ctx)
         WorkItem item = popLocal();
         DPRINTF(Engine, "engine", "[%u] dequeue hit payload=%llu",
                 core_, (unsigned long long)item.payload);
+        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
         co_return item;
     }
     DPRINTF(Engine, "engine", "[%u] dequeue blocks", core_);
@@ -526,6 +611,8 @@ MinnowEngine::dequeue(SimContext &ctx)
     std::optional<WorkItem> slot;
     co_await BlockAwait{this, &slot};
     ctx.core().idleUntil(machine_->eq.now());
+    if (slot)
+        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
     co_return slot;
 }
 

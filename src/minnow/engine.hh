@@ -119,6 +119,9 @@ class MinnowEngine
                  MinnowGlobalQueue *globalQueue,
                  const PrefetchProgram &program);
 
+    /** Deregisters the engine's "minnow<N>" stats group. */
+    ~MinnowEngine();
+
     MinnowEngine(const MinnowEngine &) = delete;
     MinnowEngine &operator=(const MinnowEngine &) = delete;
 
@@ -327,6 +330,14 @@ class MinnowEngine
 
     std::vector<runtime::CoTask<void>> threadlets_;
     EngineStats stats_;
+
+    /** Register counters/formulas/histograms as "minnow<core>". */
+    void registerStats();
+
+    // Registry-owned distribution stats (point into the group).
+    HistogramStat *dequeueLatencyHist_ = nullptr;
+    HistogramStat *threadletOccupancyHist_ = nullptr;
+    std::string statsGroupName_;
 };
 
 } // namespace minnow::minnowengine

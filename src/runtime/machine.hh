@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/sim_alloc.hh"
+#include "base/stats.hh"
 #include "base/trace.hh"
 #include "cpu/ooo_core.hh"
 #include "mem/memory_system.hh"
@@ -42,6 +43,9 @@ class Machine
             cores.emplace_back(std::make_unique<cpu::OooCore>(
                 i, cfg.core, &memory, seed));
         }
+        registerStats();
+        if (cfg.statsSampleInterval)
+            stats.startSampling(eq, cfg.statsSampleInterval);
     }
 
     Machine(const Machine &) = delete;
@@ -73,6 +77,62 @@ class Machine
     mem::MemorySystem memory;
     std::vector<std::unique_ptr<cpu::OooCore>> cores;
     WorkMonitor monitor;
+
+    /**
+     * The machine's stats tree. Groups follow the naming scheme in
+     * DESIGN.md: "sim", "core<N>", "l2_<N>", "mem", and — added by
+     * their owners — "minnow<N>" and "worklist".
+     */
+    StatsRegistry stats;
+
+  private:
+    /** Register sim/core/l2/mem groups over the built components. */
+    void
+    registerStats()
+    {
+        StatsGroup &sim = stats.group("sim");
+        sim.formula("cycles", "run makespan over all cores",
+                    [this] { return double(makespan()); });
+        sim.formula("instructions", "retired uops over all cores",
+                    [this] { return double(totalUops()); });
+        sim.formula("ipc", "aggregate uops per makespan cycle",
+                    [this] {
+                        Cycle c = makespan();
+                        return c ? double(totalUops()) / double(c)
+                                 : 0.0;
+                    });
+        sim.formula("l2Mpki",
+                    "aggregate L2 demand misses per kilo-uop",
+                    [this] {
+                        double ki = double(totalUops()) / 1000.0;
+                        return ki ? double(memory.totals()
+                                               .l2DemandMisses) /
+                                        ki
+                                  : 0.0;
+                    });
+        sim.scalar("cores", "simulated core count") =
+            double(cfg.numCores);
+
+        memory.registerStats(stats);
+        for (CoreId i = 0; i < cfg.numCores; ++i) {
+            cores[i]->registerStats(
+                stats.group("core" + std::to_string(i)));
+            StatsGroup &l2 =
+                stats.group("l2_" + std::to_string(i));
+            memory.registerCoreStats(l2, i);
+            cpu::OooCore *core = cores[i].get();
+            l2.formula("mpki",
+                       "L2 demand misses per kilo-uop of this core",
+                       [this, core, i] {
+                           double ki =
+                               double(core->stats().uops) / 1000.0;
+                           return ki ? double(memory.stats(i)
+                                                  .l2DemandMisses) /
+                                           ki
+                                     : 0.0;
+                       });
+        }
+    }
 };
 
 } // namespace minnow::runtime

@@ -53,6 +53,9 @@ MachineConfig::applyOptions(const Options &opts)
     dram.channels =
         std::uint32_t(opts.getUint("mem-channels", dram.channels));
 
+    statsSampleInterval = std::uint32_t(
+        opts.getUint("stats-interval", statsSampleInterval));
+
     minnow.enabled = opts.getBool("minnow", minnow.enabled);
     minnow.prefetchEnabled =
         opts.getBool("minnow-prefetch", minnow.prefetchEnabled);

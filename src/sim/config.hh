@@ -165,6 +165,13 @@ struct MachineConfig
      */
     std::uint32_t syncQuantum = 400;
 
+    /**
+     * When nonzero, the machine's stats registry snapshots every
+     * non-histogram stat each this-many cycles (--stats-interval=);
+     * samples ride along in the JSON stats export.
+     */
+    std::uint32_t statsSampleInterval = 0;
+
     std::uint64_t totalL3Bytes() const
     {
         return std::uint64_t(numCores) * l3Bank.sizeBytes;

@@ -20,8 +20,13 @@ EventQueue::run(std::uint64_t maxEvents)
         }
         ++executed;
         if (maxEvents && executed >= maxEvents) {
-            warn("event budget of %llu exhausted; stopping simulation",
-                 (unsigned long long)maxEvents);
+            // Only a real timeout warns: hitting the budget on the
+            // very last event is a completed run.
+            if (!heap_.empty()) {
+                warn("event budget of %llu exhausted; stopping"
+                     " simulation",
+                     (unsigned long long)maxEvents);
+            }
             break;
         }
     }

@@ -400,6 +400,34 @@ TEST(StridePf, DetectsStreamAfterTraining)
     EXPECT_EQ(out[0], lineAddr(0x1000 + 7 * 64));
 }
 
+TEST(StridePf, ZeroStrideDoesNotKillLearnedStream)
+{
+    // Regression: a repeated address (flag poll between worklist
+    // items) used to overwrite the learned stride with 0, silently
+    // killing the stream even though its confidence survived.
+    StridePrefetcher pf(4, 1);
+    std::vector<Addr> out;
+    LoadObservation obs;
+    obs.site = 3;
+    for (int i = 0; i < 4; ++i) {
+        obs.addr = 0x1000 + Addr(i) * 64;
+        pf.observe(obs, out);
+    }
+    ASSERT_FALSE(out.empty()); // trained and issuing.
+    out.clear();
+
+    // Re-reference the same address twice: stride 0 observations.
+    pf.observe(obs, out);
+    pf.observe(obs, out);
+    out.clear();
+
+    // The next in-stride access must still prefetch.
+    obs.addr = 0x1000 + 4 * 64;
+    pf.observe(obs, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], lineAddr(0x1000 + 8 * 64));
+}
+
 TEST(StridePf, IgnoresRandomAccesses)
 {
     StridePrefetcher pf(4, 1);

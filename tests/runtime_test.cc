@@ -75,6 +75,36 @@ TEST(EventQueue, StopEndsRun)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, ExactBudgetOnLastEventDoesNotWarn)
+{
+    // Regression: a run whose event count landed exactly on the
+    // budget used to warn "budget exhausted" even though the heap
+    // had drained — every completed run at the limit looked like a
+    // timeout.
+    EventQueue eq;
+    int fired = 0;
+    for (Cycle t = 1; t <= 3; ++t)
+        eq.schedule(t, [](void *p) { (*static_cast<int *>(p))++; },
+                    &fired);
+
+    clearWarnings();
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(warningsSeen());
+
+    // A genuine timeout (work left behind) still warns.
+    for (Cycle t = 1; t <= 3; ++t)
+        eq.schedule(eq.now() + t,
+                    [](void *p) { (*static_cast<int *>(p))++; },
+                    &fired);
+    clearWarnings();
+    EXPECT_EQ(eq.run(2), 2u);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_TRUE(warningsSeen());
+    clearWarnings();
+}
+
 CoTask<int>
 leaf(int v)
 {

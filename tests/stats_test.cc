@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stats registry (base/stats.hh):
+ * registration/lookup, formula evaluation, histogram bucketing,
+ * JSON export round-trip, and EventQueue-driven interval sampling.
+ *
+ * The JSON checks parse the emitted document with a minimal
+ * recursive-descent parser so a malformed dump (stray comma, bad
+ * escape, truncated object) fails loudly rather than "looks fine".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace minnow
+{
+namespace
+{
+
+//
+// Minimal JSON parser (objects, arrays, strings, numbers, bools).
+//
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue missing;
+        auto it = obj.find(key);
+        return it == obj.end() ? missing : it->second;
+    }
+
+    bool has(const std::string &key) const { return obj.count(key); }
+};
+
+class JsonParser
+{
+  public:
+    // Copies the text: callers hand in toJson() temporaries.
+    explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+    /** Parse the full document; sets ok() false on any error. */
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            ok_ = false;
+        return v;
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            ok_ = false;
+            return {};
+        }
+        char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        return number();
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Obj;
+        consume('{');
+        if (consume('}'))
+            return v;
+        do {
+            JsonValue key = string();
+            if (!ok_ || !consume(':'))
+                break;
+            v.obj[key.str] = value();
+        } while (ok_ && consume(','));
+        if (!consume('}'))
+            ok_ = false;
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Arr;
+        consume('[');
+        if (consume(']'))
+            return v;
+        do {
+            v.arr.push_back(value());
+        } while (ok_ && consume(','));
+        if (!consume(']'))
+            ok_ = false;
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Str;
+        if (!consume('"')) {
+            ok_ = false;
+            return v;
+        }
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\' && pos_ < s_.size()) {
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case '"': v.str += '"'; break;
+                  case '\\': v.str += '\\'; break;
+                  case 'u':
+                    // Tests only need ASCII escapes.
+                    if (pos_ + 4 <= s_.size()) {
+                        v.str += char(std::stoul(
+                            s_.substr(pos_, 4), nullptr, 16));
+                        pos_ += 4;
+                    } else {
+                        ok_ = false;
+                    }
+                    break;
+                  default: ok_ = false;
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        if (!consume('"'))
+            ok_ = false;
+        return v;
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.b = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            v.b = false;
+            pos_ += 5;
+        } else {
+            ok_ = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Num;
+        std::size_t end = pos_;
+        while (end < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+                s_[end] == 'e' || s_[end] == 'E'))
+            ++end;
+        if (end == pos_) {
+            ok_ = false;
+            return v;
+        }
+        v.num = std::stod(s_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    std::string s_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+//
+// Registration and lookup.
+//
+
+TEST(StatsRegistry, RegisterAndFind)
+{
+    StatsRegistry reg;
+    StatsGroup &g = reg.group("core0");
+    CounterStat &c = g.counter("uops", "micro-ops committed");
+    ScalarStat &s = g.scalar("freqGhz", "clock");
+    s = 2.5;
+    ++c;
+    c += 9;
+
+    ASSERT_NE(reg.find("core0"), nullptr);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    const Stat *uops = reg.find("core0")->find("uops");
+    ASSERT_NE(uops, nullptr);
+    EXPECT_EQ(uops->kind(), StatKind::Counter);
+    EXPECT_DOUBLE_EQ(uops->value(), 10.0);
+    EXPECT_DOUBLE_EQ(reg.find("core0")->find("freqGhz")->value(),
+                     2.5);
+    EXPECT_EQ(reg.find("core0")->find("nope"), nullptr);
+
+    // group() is get-or-create; the same group comes back.
+    EXPECT_EQ(&reg.group("core0"), &g);
+}
+
+TEST(StatsRegistry, FreshGroupReplacesAndRemoveDrops)
+{
+    StatsRegistry reg;
+    reg.group("worklist").counter("pops");
+    ASSERT_NE(reg.find("worklist")->find("pops"), nullptr);
+
+    // freshGroup drops the old stats (machine reuse).
+    StatsGroup &g2 = reg.freshGroup("worklist");
+    EXPECT_EQ(g2.find("pops"), nullptr);
+    g2.counter("pops");
+
+    reg.removeGroup("worklist");
+    EXPECT_EQ(reg.find("worklist"), nullptr);
+
+    // Groups come back name-sorted.
+    reg.group("b");
+    reg.group("a");
+    auto gs = reg.groups();
+    ASSERT_EQ(gs.size(), 2u);
+    EXPECT_EQ(gs[0]->name(), "a");
+    EXPECT_EQ(gs[1]->name(), "b");
+}
+
+//
+// Formula evaluation.
+//
+
+TEST(StatsRegistry, FormulaTracksLiveCountersLazily)
+{
+    StatsRegistry reg;
+    std::uint64_t misses = 0, uops = 0;
+    FormulaStat &mpki = reg.group("l2_0").formula(
+        "mpki", "misses per kilo-instruction", [&] {
+            return uops ? double(misses) / (double(uops) / 1000.0)
+                        : 0.0;
+        });
+
+    // 0/0 guarded by the formula itself.
+    EXPECT_DOUBLE_EQ(mpki.value(), 0.0);
+
+    misses = 50;
+    uops = 10'000;
+    EXPECT_DOUBLE_EQ(mpki.value(), 5.0);
+
+    // Lazy: later counter updates show in the next evaluation.
+    misses = 100;
+    EXPECT_DOUBLE_EQ(mpki.value(), 10.0);
+}
+
+TEST(StatsRegistry, FormulaNonFiniteReadsAsZero)
+{
+    StatsRegistry reg;
+    FormulaStat &f = reg.group("sim").formula(
+        "bad", "division by zero", [] { return 1.0 / 0.0; });
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
+//
+// Histogram bucketing.
+//
+
+TEST(StatsRegistry, HistogramBucketsAndOverflow)
+{
+    StatsRegistry reg;
+    HistogramStat &h = reg.group("worklist").histogram(
+        "popLatency", "cycles", 10, 4);
+
+    h.sample(0);   // bucket 0.
+    h.sample(9);   // bucket 0.
+    h.sample(10);  // bucket 1.
+    h.sample(35);  // bucket 3.
+    h.sample(39);  // bucket 3.
+    h.sample(400); // overflow -> last bucket (3).
+
+    EXPECT_EQ(h.numBuckets(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 3u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 35 + 39 + 400) / 6.0);
+    // Histograms report their mean as the scalar value.
+    EXPECT_DOUBLE_EQ(h.value(), h.mean());
+
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucketCount(3), 0u);
+}
+
+TEST(StatsRegistry, HistogramDegenerateParamsClamp)
+{
+    StatsRegistry reg;
+    // Zero width/bucket-count clamp to 1 instead of dividing by 0.
+    HistogramStat &h =
+        reg.group("g").histogram("h", "degenerate", 0, 0);
+    h.sample(1234);
+    EXPECT_EQ(h.bucketWidth(), 1u);
+    EXPECT_EQ(h.numBuckets(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+//
+// Flatten.
+//
+
+TEST(StatsRegistry, FlattenUsesDottedKeys)
+{
+    StatsRegistry reg;
+    StatsGroup &g = reg.group("minnow0");
+    g.counter("creditStalls") += 7;
+    HistogramStat &h = g.histogram("occ", "", 1, 4);
+    h.sample(2);
+
+    StatsReport rep;
+    reg.flatten(rep);
+    EXPECT_DOUBLE_EQ(rep.get("minnow0.creditStalls"), 7.0);
+    EXPECT_DOUBLE_EQ(rep.get("minnow0.occ.mean"), 2.0);
+    EXPECT_DOUBLE_EQ(rep.get("minnow0.occ.total"), 1.0);
+}
+
+//
+// JSON round-trip.
+//
+
+TEST(StatsRegistry, JsonRoundTrip)
+{
+    StatsRegistry reg;
+    StatsGroup &core = reg.group("core0");
+    core.counter("uops") += 12345;
+    core.scalar("ipc\"weird\nname") = 0.75; // escaping probe.
+    std::uint64_t misses = 250, uops = 12345;
+    reg.group("l2_0").formula("mpki", "", [&] {
+        return double(misses) / (double(uops) / 1000.0);
+    });
+    HistogramStat &h =
+        reg.group("worklist").histogram("popLatency", "", 16, 8);
+    h.sample(5);
+    h.sample(100);
+    h.sample(10'000); // overflow bucket.
+
+    JsonParser p(reg.toJson());
+    JsonValue doc = p.parse();
+    ASSERT_TRUE(p.ok()) << reg.toJson();
+
+    EXPECT_EQ(doc.at("schema").str, "minnow-stats-1");
+    const JsonValue &groups = doc.at("groups");
+    ASSERT_EQ(groups.kind, JsonValue::Obj);
+    ASSERT_TRUE(groups.has("core0"));
+    ASSERT_TRUE(groups.has("l2_0"));
+    ASSERT_TRUE(groups.has("worklist"));
+
+    EXPECT_DOUBLE_EQ(groups.at("core0").at("uops").num, 12345.0);
+    EXPECT_DOUBLE_EQ(
+        groups.at("core0").at("ipc\"weird\nname").num, 0.75);
+    EXPECT_NEAR(groups.at("l2_0").at("mpki").num,
+                250.0 / 12.345, 1e-9);
+
+    const JsonValue &hist = groups.at("worklist").at("popLatency");
+    ASSERT_EQ(hist.kind, JsonValue::Obj);
+    EXPECT_EQ(hist.at("type").str, "histogram");
+    EXPECT_DOUBLE_EQ(hist.at("bucketWidth").num, 16.0);
+    EXPECT_DOUBLE_EQ(hist.at("total").num, 3.0);
+    ASSERT_EQ(hist.at("counts").arr.size(), 8u);
+    EXPECT_DOUBLE_EQ(hist.at("counts").arr[0].num, 1.0); // 5.
+    EXPECT_DOUBLE_EQ(hist.at("counts").arr[6].num, 1.0); // 100.
+    EXPECT_DOUBLE_EQ(hist.at("counts").arr[7].num, 1.0); // overflow.
+}
+
+TEST(StatsRegistry, JsonIntegersHaveNoExponent)
+{
+    StatsRegistry reg;
+    reg.group("sim").counter("big") += 123'456'789'012ull;
+    std::string json = reg.toJson();
+    EXPECT_NE(json.find("123456789012"), std::string::npos) << json;
+    EXPECT_EQ(json.find("1.23456789012e"), std::string::npos);
+}
+
+//
+// Interval sampling off the EventQueue.
+//
+
+void
+nopEvent(void *)
+{
+}
+
+TEST(StatsRegistry, SamplingRecordsIntervalsAndLetsQueueDrain)
+{
+    EventQueue eq;
+    StatsRegistry reg;
+    std::uint64_t work = 0;
+    reg.group("sim").formula("work", "",
+                             [&] { return double(work); });
+
+    // Simulated activity at cycles 10..500.
+    for (Cycle t = 10; t <= 500; t += 10)
+        eq.schedule(t, nopEvent, &work);
+
+    reg.startSampling(eq, 100);
+    work = 42;
+    eq.run();
+
+    // The queue drained: the sampler must not keep the sim alive.
+    EXPECT_TRUE(eq.empty());
+    ASSERT_GE(reg.samples().size(), 4u);
+    EXPECT_EQ(reg.samples()[0].cycle, 100u);
+    EXPECT_EQ(reg.samples()[1].cycle, 200u);
+    EXPECT_DOUBLE_EQ(reg.samples()[0].values.at("sim.work"), 42.0);
+
+    // Interval samples ride along in the JSON document.
+    JsonParser p(reg.toJson());
+    JsonValue doc = p.parse();
+    ASSERT_TRUE(p.ok());
+    const JsonValue &intervals = doc.at("intervals");
+    ASSERT_EQ(intervals.kind, JsonValue::Arr);
+    ASSERT_GE(intervals.arr.size(), 4u);
+    EXPECT_DOUBLE_EQ(intervals.arr[0].at("cycle").num, 100.0);
+    EXPECT_DOUBLE_EQ(
+        intervals.arr[0].at("values").at("sim.work").num, 42.0);
+}
+
+TEST(StatsRegistry, WriteJsonFileRoundTrips)
+{
+    StatsRegistry reg;
+    reg.group("sim").counter("cycles") += 77;
+
+    std::string path =
+        testing::TempDir() + "/minnow_stats_test.json";
+    ASSERT_TRUE(reg.writeJsonFile(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    JsonParser p(text);
+    JsonValue doc = p.parse();
+    ASSERT_TRUE(p.ok()) << text;
+    EXPECT_DOUBLE_EQ(
+        doc.at("groups").at("sim").at("cycles").num, 77.0);
+}
+
+} // anonymous namespace
+} // namespace minnow

@@ -33,6 +33,22 @@ TEST(Trace, EnableDisable)
     EXPECT_FALSE(trace::enabled(trace::Flag::Engine));
 }
 
+TEST(Trace, EnableListTrimsWhitespace)
+{
+    // Regression: "Exec, Cache" (the natural way to quote a pair of
+    // flags) used to die on the padded token " Cache".
+    trace::clearAll();
+    trace::enableList("Exec, Cache");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Exec));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Cache));
+
+    trace::clearAll();
+    trace::enableList("  Engine ,\tCredit , ");
+    EXPECT_TRUE(trace::enabled(trace::Flag::Engine));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Credit));
+    trace::clearAll();
+}
+
 TEST(Trace, EmptyListIsNoop)
 {
     trace::clearAll();
