@@ -16,6 +16,21 @@
  * ...). The credit-sweep benches (18/19/20) additionally take
  * --credits-list=a,b to override the swept credit counts.
  *
+ * Robustness knobs (also via applyOptions; see DESIGN.md "Fault
+ * model"):
+ *   --faults=<spec>   deterministic fault injection, e.g.
+ *                     --faults="engine_stall:core=3,at=50000,dur=20000;
+ *                               noc_delay:p=0.01,add=200"
+ *                     Replays are reproduced by the same spec plus
+ *                     the same --seed.
+ *   --watchdog=<n>    check forward progress every n cycles; after
+ *                     --watchdog-checks (default 4) stale checks the
+ *                     run dumps a diagnostic and aborts.
+ *   --diag-json=<path>   write the watchdog/budget diagnostic
+ *                        (schema "minnow-diag-1") to a file too.
+ *   --panic-stats=<path> best-effort stats snapshot on panic()
+ *                        (default minnow-panic-stats.json).
+ *
  * Output convention: each bench prints the paper's rows/series as a
  * fixed-width table, with the paper's published value alongside where
  * one exists, so shape comparisons are one glance.

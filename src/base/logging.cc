@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace minnow
 {
@@ -11,6 +12,42 @@ namespace
 {
 
 bool warnSeen = false;
+
+struct PanicHookEntry
+{
+    int id;
+    PanicHook fn;
+    void *arg;
+};
+
+std::vector<PanicHookEntry> &
+panicHooks()
+{
+    static std::vector<PanicHookEntry> hooks;
+    return hooks;
+}
+
+int nextPanicHookId = 1;
+bool inPanicHooks = false;
+
+/**
+ * Flush everything and run the post-mortem hooks (most recently
+ * registered first, matching teardown order). Reentrant panics skip
+ * straight to the flush so a buggy hook cannot recurse.
+ */
+void
+runPanicHooks()
+{
+    if (!inPanicHooks) {
+        inPanicHooks = true;
+        auto &hooks = panicHooks();
+        for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
+            it->fn(it->arg);
+    }
+    // Flush every open stream (trace output included) so the log up
+    // to the failure survives the abort.
+    std::fflush(nullptr);
+}
 
 const char *
 levelName(LogLevel level)
@@ -47,6 +84,7 @@ logMessage(LogLevel level, const char *file, int line,
       case LogLevel::Fatal:
         std::exit(1);
       case LogLevel::Panic:
+        runPanicHooks();
         std::abort();
       default:
         break;
@@ -63,6 +101,26 @@ void
 clearWarnings()
 {
     warnSeen = false;
+}
+
+int
+addPanicHook(PanicHook hook, void *arg)
+{
+    int id = nextPanicHookId++;
+    panicHooks().push_back(PanicHookEntry{id, hook, arg});
+    return id;
+}
+
+void
+removePanicHook(int id)
+{
+    auto &hooks = panicHooks();
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->id == id) {
+            hooks.erase(it);
+            return;
+        }
+    }
 }
 
 } // namespace minnow

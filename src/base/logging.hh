@@ -47,6 +47,22 @@ bool warningsSeen();
 /** Reset the warning-seen flag (used by tests). */
 void clearWarnings();
 
+/**
+ * Post-mortem hook run by panic() just before abort(), after all
+ * streams are flushed. The Machine registers one that writes a
+ * best-effort stats JSON snapshot so invariant failures leave
+ * inspectable state behind. Hooks must be async-signal-tolerant in
+ * spirit: best effort, no throwing, no further panics (a panic from
+ * inside a hook aborts immediately instead of recursing).
+ *
+ * @return Registration id for removePanicHook().
+ */
+using PanicHook = void (*)(void *);
+int addPanicHook(PanicHook hook, void *arg);
+
+/** Deregister a hook by the id addPanicHook() returned. */
+void removePanicHook(int id);
+
 } // namespace minnow
 
 #define panic(...) \

@@ -150,9 +150,10 @@ runParallel(runtime::Machine &machine, apps::App &app,
     for (const worklist::WorkItem &item : app.initialWork())
         wl.pushInitial(item);
 
-    // The software scheduler's own observability group. freshGroup:
-    // a reused machine replaces the previous run's worklist stats.
-    StatsGroup &wg = machine.stats.freshGroup("worklist");
+    // The software scheduler's own observability group, owned by the
+    // worklist (attachStats replaces any previous run's group and
+    // removes it again when the worklist is destroyed).
+    StatsGroup &wg = wl.attachStats(machine.stats);
     WorklistRunStats wstats;
     wstats.popLatency = &wg.histogram(
         "popLatency", "cycles a worker spent inside pop", 64, 32);

@@ -5,6 +5,7 @@
 #include "base/bits.hh"
 #include "base/logging.hh"
 #include "base/trace.hh"
+#include "sim/fault.hh"
 
 namespace minnow::mem
 {
@@ -237,6 +238,8 @@ MemorySystem::access(const MemAccess &req)
 
     const std::uint32_t bank = bankOf(lnum);
     t = noc_.traverse(tileOf(req.core), tileOf(bank), t);
+    if (faults_)
+        t += faults_->nocExtraDelay();
 
     // Directory (snoop filter) and L3 are consulted together; a
     // dirty remote copy is forwarded cache-to-cache even when the
@@ -253,6 +256,8 @@ MemorySystem::access(const MemAccess &req)
     } else {
         t += cfg_.l3Bank.latency; // tag + filter miss detection.
         t = dram_.access(lnum, t);
+        if (faults_)
+            t += faults_->dramExtraDelay();
         st.memAccesses += 1;
         fillL3(bank, lnum);
         l3line = l3_[bank].lookup(lnum);
@@ -315,6 +320,8 @@ MemorySystem::access(const MemAccess &req)
 
     // ---- Response and private fills ----
     t = noc_.traverse(tileOf(bank), tileOf(req.core), t);
+    if (faults_)
+        t += faults_->nocExtraDelay();
     Cycle done = t;
 
     Eviction ev;
@@ -360,6 +367,9 @@ MemorySystem::runHwPrefetcher(const MemAccess &req, Cycle when)
             stats_[req.core].prefetchRedundant += 1;
             continue;
         }
+        // Injected fault: the prefetch request is lost in flight.
+        if (faults_ && faults_->dropPrefetch(req.core))
+            continue;
         MemAccess pf;
         pf.addr = target;
         pf.type = AccessType::Load;

@@ -37,6 +37,11 @@
 #include "mem/prefetcher.hh"
 #include "sim/config.hh"
 
+namespace minnow
+{
+class FaultInjector;
+} // namespace minnow
+
 namespace minnow::mem
 {
 
@@ -138,6 +143,13 @@ class MemorySystem
     void setCreditHook(CreditHook hook) { creditHook_ = std::move(hook); }
 
     /**
+     * Attach the machine's fault injector (nullptr detaches). Adds
+     * noc_delay/dram_delay latency spikes on the demand path and
+     * drops hardware prefetch issues per drop_prefetch clauses.
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /**
      * Register the functional-read oracle used by the IMP prefetcher
      * to chase index arrays ahead of the demand stream.
      */
@@ -220,6 +232,7 @@ class MemorySystem
     Dram dram_;
     std::vector<MemStats> stats_;
     CreditHook creditHook_;
+    FaultInjector *faults_ = nullptr;
     std::vector<std::unique_ptr<Prefetcher>> hwPrefetchers_;
     ValueOracle oracle_;
     std::vector<Addr> pfScratch_;

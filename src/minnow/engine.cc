@@ -191,6 +191,18 @@ MinnowEngine::registerStats()
           &EngineStats::prefetchPendingPeak);
     count("prefetchCancelled", "prefetch threadlets aborted as stale",
           &EngineStats::prefetchCancelled);
+    count("faultKills", "engine_kill fault injections taken",
+          &EngineStats::faultKills);
+    count("faultStalls", "engine_stall fault injections taken",
+          &EngineStats::faultStalls);
+    count("tasksRescued", "tasks flushed to the global queue on"
+          " faults", &EngineStats::tasksRescued);
+    count("fallbackPops", "software-path dequeues while faulted",
+          &EngineStats::fallbackPops);
+    count("prefetchDropped", "prefetch issues lost to fault"
+          " injection", &EngineStats::prefetchDropped);
+    count("creditsLost", "credit returns lost to fault injection",
+          &EngineStats::creditsLost);
     g.formula("cuBusyCycles", "control-unit busy cycles",
               [this] { return double(stats_.cuBusyCycles); });
     g.formula("dequeueLocalHitRate",
@@ -231,6 +243,14 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
 {
     tc.exec(1);
     if (prefetch) {
+        // Injected fault: the request is lost before it reaches the
+        // L2 — no credit is consumed and no line will be tracked.
+        if (machine_->faults &&
+            machine_->faults->dropPrefetch(core_)) {
+            stats_.prefetchDropped += 1;
+            tc.exec(1);
+            co_return std::max(tc.ready(), machine_->eq.now());
+        }
         // Local L2 tag probe: a line already present needs no
         // prefetch, no credit and no load-buffer entry.
         if (machine_->memory.inL2(core_, addr)) {
@@ -288,6 +308,15 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
 void
 MinnowEngine::creditReturn(bool used)
 {
+    // Injected credit starvation: the return message is lost and the
+    // pool shrinks until the fault window closes. Waiting threadlets
+    // stay parked; prefetching degrades, the worklist path (its own
+    // virtual-queue share) is untouched.
+    if (machine_->faults &&
+        machine_->faults->swallowCreditReturn(core_)) {
+        stats_.creditsLost += 1;
+        return;
+    }
     DPRINTF(Credit, "credit", "[%u] return (%s), free=%u waiters=%zu",
             core_, used ? "used" : "unused", creditsFree_,
             creditWaiters_.size());
@@ -473,6 +502,109 @@ MinnowEngine::onTerminate()
     }
 }
 
+// ---- Fault injection ----
+
+void
+MinnowEngine::armFaults(const FaultInjector &faults)
+{
+    std::uint32_t cpe = std::max(1u, params_.coresPerEngine);
+    for (const FaultClause &c : faults.clauses()) {
+        if (c.kind != FaultClause::Kind::EngineKill &&
+            c.kind != FaultClause::Kind::EngineStall)
+            continue;
+        if (c.core / cpe != core_ / cpe)
+            continue;
+        CoTask<void> t = faultTask(c);
+        t.start();
+        faultTasks_.push_back(std::move(t));
+    }
+}
+
+CoTask<void>
+MinnowEngine::faultTask(FaultClause clause)
+{
+    EventQueue &eq = machine_->eq;
+    co_await WaitAt{&eq, clause.at};
+    if (clause.kind == FaultClause::Kind::EngineKill) {
+        injectKill();
+        co_return;
+    }
+    injectStall(clause.dur);
+    co_await WaitAt{&eq, clause.at + clause.dur};
+    // Another overlapping stall may still be holding the engine
+    // down; only the last one ending performs the recovery.
+    if (!dead_ && !stalled())
+        recoverFromStall();
+}
+
+void
+MinnowEngine::injectKill()
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    stats_.faultKills += 1;
+    warn("minnow engine %u killed by fault injection at cycle %llu",
+         core_, (unsigned long long)machine_->eq.now());
+    rescueLocalTasks();
+    // Release blocked workers through the same path termination
+    // uses; their slots stay empty and dequeue() sends them to the
+    // software worklist.
+    onTerminate();
+}
+
+void
+MinnowEngine::injectStall(Cycle dur)
+{
+    if (dead_)
+        return;
+    stats_.faultStalls += 1;
+    Cycle until = machine_->eq.now() + dur;
+    stallUntil_ = std::max(stallUntil_, until);
+    cuBusyUntil_ = std::max(cuBusyUntil_, until);
+    warn("minnow engine %u stalled by fault injection until cycle"
+         " %llu", core_, (unsigned long long)stallUntil_);
+    rescueLocalTasks();
+    onTerminate(); // release blocked workers to the software path.
+}
+
+void
+MinnowEngine::rescueLocalTasks()
+{
+    std::uint64_t n = 0;
+    while (!localQ_.empty()) {
+        global_->pushInitial(localQ_.front());
+        localQ_.pop_front();
+        ++n;
+    }
+    while (!spillBuf_.empty()) {
+        global_->pushInitial(spillBuf_.front());
+        spillBuf_.pop_front();
+        ++n;
+    }
+    localBucket_ = MinnowGlobalQueue::kNoBucket;
+    // Queued prefetch requests refer to tasks this engine no longer
+    // owns; prefetching them would be pure pollution.
+    stats_.prefetchCancelled += pendingPrefetch_.size();
+    pendingPrefetch_.clear();
+    if (n) {
+        stats_.tasksRescued += n;
+        // The tasks were core-private (pending, non-stealable); in
+        // the global queue any worker can take them.
+        machine_->monitor.transferWork(n, true);
+    }
+}
+
+void
+MinnowEngine::recoverFromStall()
+{
+    // Flush whatever arrived while frozen (a fill that completed
+    // right at the window edge) so software-parked workers get
+    // their wakeup, then resume normal service.
+    rescueLocalTasks();
+    nudgeDaemon();
+}
+
 void
 MinnowEngine::startDaemon()
 {
@@ -507,6 +639,17 @@ CoTask<void>
 MinnowEngine::enqueueArrival(WorkItem item, Cycle when)
 {
     co_await WaitAt{&machine_->eq, when};
+    if (faulted()) {
+        // The engine cannot accept the call: the task is routed
+        // straight to the software global queue, where any worker
+        // (including software-fallback ones) can take it. It was
+        // booked addWork(1, false) at the call site; making it
+        // stealable keeps the monitor accounting exact.
+        global_->pushInitial(item);
+        stats_.tasksRescued += 1;
+        machine_->monitor.transferWork(1, true);
+        co_return;
+    }
     DPRINTF(Engine, "engine", "[%u] enqueue arrival prio=%lld"
             " payload=%llu localQ=%zu",
             core_, (long long)item.priority,
@@ -572,6 +715,12 @@ MinnowEngine::dequeue(SimContext &ctx)
     co_await ctx.waitUntil(t);
     ctx.core().idleUntil(machine_->eq.now());
 
+    if (faulted()) {
+        // Killed or stalled engine: degrade to the software
+        // worklist path (the baseline scheduler).
+        co_return co_await dequeueFallback(ctx, dqStart);
+    }
+
     if (!localQ_.empty()) {
         stats_.dequeueLocalHits += 1;
         WorkItem item = popLocal();
@@ -611,9 +760,57 @@ MinnowEngine::dequeue(SimContext &ctx)
     std::optional<WorkItem> slot;
     co_await BlockAwait{this, &slot};
     ctx.core().idleUntil(machine_->eq.now());
+    if (!slot && !machine_->monitor.terminated()) {
+        // Released by fault injection, not termination: this worker
+        // rejoins the run on the software worklist path.
+        machine_->monitor.exitIdle();
+        co_return co_await dequeueFallback(ctx, dqStart);
+    }
     if (slot)
         dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
     co_return slot;
+}
+
+CoTask<std::optional<WorkItem>>
+MinnowEngine::dequeueFallback(SimContext &ctx, Cycle dqStart)
+{
+    runtime::WorkMonitor &mon = machine_->monitor;
+    for (;;) {
+        if (mon.terminated())
+            co_return std::nullopt;
+        if (!faulted()) {
+            // The engine recovered while we were on the software
+            // path: go back through the accelerator interface (it
+            // may hold freshly filled tasks for us).
+            co_return co_await dequeue(ctx);
+        }
+        if (global_->size() > 0) {
+            WorkItem item;
+            bool got =
+                co_await global_->popSoftware(ctx, item, core_);
+            if (got) {
+                mon.takeWork(1, true);
+                stats_.fallbackPops += 1;
+                dequeueLatencyHist_->sample(machine_->eq.now() -
+                                            dqStart);
+                co_return item;
+            }
+            continue;
+        }
+        if (mon.stealable() > 0) {
+            // Accounting is ahead of the functional queue (a racing
+            // spill is in flight): bounded back-off, then recheck.
+            co_await ctx.waitUntil(machine_->eq.now() + 200);
+            ctx.core().idleUntil(machine_->eq.now());
+            continue;
+        }
+        ctx.core().setPhase(cpu::Phase::Idle);
+        bool more = co_await mon.waitForWork();
+        ctx.core().idleUntil(machine_->eq.now());
+        ctx.core().setPhase(cpu::Phase::Worklist);
+        if (!more)
+            co_return std::nullopt;
+    }
 }
 
 CoTask<void>
@@ -670,6 +867,18 @@ MinnowEngine::fillDaemon()
     for (;;) {
         if (mon.terminated())
             break;
+        if (dead_) {
+            // Killed: the rescue flushed the local queue already;
+            // the daemon just retires.
+            break;
+        }
+        if (stalled()) {
+            // Control unit frozen: sleep through the stall window
+            // (no fills — workers are on the software path and a
+            // hoarded local queue would strand tasks).
+            co_await WaitAt{&machine_->eq, stallUntil_};
+            continue;
+        }
         bool localLow =
             localQ_.size() < params_.refillThreshold;
         // Stream when the global head outprioritizes (or matches)
@@ -700,6 +909,14 @@ MinnowEngine::fillDaemon()
             std::uint32_t got = co_await global_->fill(
                 tc, burst, batch, bucket, core_);
             localReserved_ -= burst;
+            if (got > 0 && faulted()) {
+                // Killed or stalled mid-fill: push the batch
+                // straight back. The monitor was not told about the
+                // transfer yet, so accounting stays exact.
+                for (const WorkItem &item : batch)
+                    global_->pushInitial(item);
+                continue;
+            }
             if (got > 0) {
                 mon.transferWork(got, false);
                 stats_.fillBatches += 1;
@@ -779,8 +996,9 @@ MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
 
     // With the node record in hand, a superseded task (the worker
     // would drop it at its stale cutoff) is not worth prefetching:
-    // its lines would pin credits until eviction.
-    if (program_.taskStale && program_.taskStale(item)) {
+    // its lines would pin credits until eviction. A dead engine's
+    // tasks were rescued elsewhere, same conclusion.
+    if (dead_ || (program_.taskStale && program_.taskStale(item))) {
         stats_.prefetchCancelled += 1;
         panic_if(activePrefetchTasks_ == 0,
                  "prefetch window underflow");
@@ -840,7 +1058,7 @@ MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
         kLineBytes / graph::CsrGraph::kEdgeBytes;
     for (EdgeId e = begin; e < end;
          e = (e / kEdgesPerLine + 1) * kEdgesPerLine) {
-        if (prefetchStale(seq)) {
+        if (dead_ || prefetchStale(seq)) {
             stats_.prefetchCancelled += 1;
             break; // the worker is already past this task.
         }
@@ -917,7 +1135,7 @@ MinnowEngine::prefetchEdgeThreadlet(EdgeId e, EdgeId endEdge,
     EdgeId lineEnd = (e / kEdgesPerLine + 1) * kEdgesPerLine;
     EdgeId stop = std::min(lineEnd, endEdge);
     for (EdgeId i = e; i < stop; ++i) {
-        if (prefetchStale(seq)) {
+        if (dead_ || prefetchStale(seq)) {
             stats_.prefetchCancelled += 1;
             finishChild(gate, usedReserved);
             co_return;

@@ -109,6 +109,14 @@ struct EngineStats
     std::uint64_t prefetchPendingPeak = 0;
     std::uint64_t prefetchCancelled = 0; //!< stale, aborted early.
     Cycle cuBusyCycles = 0;
+
+    // Fault injection (sim/fault.hh).
+    std::uint64_t faultKills = 0;      //!< engine_kill fired here.
+    std::uint64_t faultStalls = 0;     //!< engine_stall fired here.
+    std::uint64_t tasksRescued = 0;    //!< flushed to global on faults.
+    std::uint64_t fallbackPops = 0;    //!< software-path dequeues.
+    std::uint64_t prefetchDropped = 0; //!< injected prefetch drops.
+    std::uint64_t creditsLost = 0;     //!< injected lost returns.
 };
 
 /** One per-core Minnow engine. */
@@ -159,6 +167,33 @@ class MinnowEngine
 
     /** Credit return from the L2 (via MemorySystem hook). */
     void creditReturn(bool used);
+
+    // ---- Fault injection (sim/fault.hh) ----
+
+    /**
+     * Spawn one fault coroutine per engine_kill/engine_stall clause
+     * targeting this engine (called by MinnowSystem after the
+     * termination hook is wired up).
+     */
+    void armFaults(const FaultInjector &faults);
+
+    /**
+     * Kill the engine permanently: rescue local tasks to the global
+     * queue and release blocked workers through the termination
+     * callback so they fall back to the software worklist path.
+     */
+    void injectKill();
+
+    /** Freeze the engine for @p dur cycles (same degradation). */
+    void injectStall(Cycle dur);
+
+    bool dead() const { return dead_; }
+    bool stalled() const
+    {
+        return machine_->eq.now() < stallUntil_;
+    }
+    /** True while the engine cannot serve its cores. */
+    bool faulted() const { return dead_ || stalled(); }
 
     const EngineStats &stats() const { return stats_; }
     std::uint32_t localQueueSize() const
@@ -256,6 +291,27 @@ class MinnowEngine
     /** Front-end FSM: enqueue decision at accelerator-call arrival. */
     runtime::CoTask<void> enqueueArrival(WorkItem item, Cycle when);
 
+    // ---- Fault machinery ----
+
+    /** Waits until the clause fires, then kills/stalls the engine. */
+    runtime::CoTask<void> faultTask(FaultClause clause);
+
+    /**
+     * Degraded-mode dequeue: pop the software global queue directly,
+     * re-entering the accelerator path if the engine recovers.
+     */
+    runtime::CoTask<std::optional<WorkItem>>
+    dequeueFallback(runtime::SimContext &ctx, Cycle dqStart);
+
+    /**
+     * Flush local + spill-buffered tasks to the global queue (they
+     * become stealable; monitor accounting moves with them).
+     */
+    void rescueLocalTasks();
+
+    /** Stall-window end: flush anything that leaked in, wake up. */
+    void recoverFromStall();
+
     // Threadlet programs.
     runtime::CoTask<void> spillThreadlet(WorkItem item);
     runtime::CoTask<void> spillDrainThreadlet();
@@ -330,6 +386,12 @@ class MinnowEngine
 
     std::vector<runtime::CoTask<void>> threadlets_;
     EngineStats stats_;
+
+    // Fault state. Fault coroutines live outside threadlets_ so the
+    // threadlet occupancy accounting stays clean.
+    bool dead_ = false;
+    Cycle stallUntil_ = 0;
+    std::vector<runtime::CoTask<void>> faultTasks_;
 
     /** Register counters/formulas/histograms as "minnow<core>". */
     void registerStats();

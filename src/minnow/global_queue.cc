@@ -168,4 +168,59 @@ MinnowGlobalQueue::fill(ThreadletCtx &tc, std::uint32_t max,
     co_return got;
 }
 
+CoTask<bool>
+MinnowGlobalQueue::popSoftware(runtime::SimContext &ctx,
+                               WorkItem &out, std::uint32_t pkg)
+{
+    runtime::PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    pkg %= packages_;
+    co_await ctx.sync();
+    ctx.compute(6);
+    Cycle t = ctx.load(mapLine_);
+
+    // Same bucket-scan shape as fill(), but issued from the worker
+    // core itself: a faulted engine's core pays full software
+    // scheduling cost. One item per call keeps the baseline path's
+    // pop granularity.
+    for (int rounds = 0; rounds < 8; ++rounds) {
+        std::int64_t found = kNoBucket;
+        for (auto it = buckets_.begin(); it != buckets_.end();) {
+            ctx.compute(3, t);
+            if (it->second.total() > 0) {
+                found = it->first;
+                break;
+            }
+            it = buckets_.erase(it);
+        }
+        if (found == kNoBucket)
+            co_return false;
+
+        for (std::uint32_t i = 0; i < packages_; ++i) {
+            std::uint32_t p = (pkg + i) % packages_;
+            {
+                auto it = buckets_.find(found);
+                if (it == buckets_.end())
+                    break; // vanished; rescan in the next round.
+                if (it->second.sub[p].items.empty())
+                    continue;
+                co_await ctx.atomicAccess(it->second.sub[p].base);
+            }
+            // Re-find after the suspension: a racing engine may have
+            // drained the sublist or erased the bucket entirely.
+            auto it = buckets_.find(found);
+            if (it == buckets_.end() || it->second.sub[p].items.empty())
+                continue;
+            ctx.load(itemAddr(it->second.sub[p],
+                              it->second.sub[p].items.size()));
+            ctx.compute(2);
+            out = it->second.sub[p].items.front();
+            it->second.sub[p].items.pop_front();
+            size_ -= 1;
+            softwarePops_ += 1;
+            co_return true;
+        }
+    }
+    co_return false;
+}
+
 } // namespace minnow::minnowengine

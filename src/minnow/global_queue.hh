@@ -90,8 +90,20 @@ class MinnowGlobalQueue
                                         std::int64_t &bucket,
                                         std::uint32_t pkg);
 
+    /**
+     * Timed software pop executed directly by a worker core — the
+     * degraded-mode path used when the core's engine has been killed
+     * or stalled by fault injection. Takes one task from the lowest
+     * non-empty bucket; returns false when nothing is obtainable
+     * right now. Monitor accounting is the caller's job.
+     */
+    runtime::CoTask<bool> popSoftware(runtime::SimContext &ctx,
+                                      WorkItem &out,
+                                      std::uint32_t pkg);
+
     std::uint64_t spills() const { return spillCount_; }
     std::uint64_t fills() const { return fillCount_; }
+    std::uint64_t softwarePops() const { return softwarePops_; }
 
   private:
     struct SubList
@@ -135,6 +147,7 @@ class MinnowGlobalQueue
     std::uint64_t size_ = 0;
     std::uint64_t spillCount_ = 0;
     std::uint64_t fillCount_ = 0;
+    std::uint64_t softwarePops_ = 0;
 };
 
 } // namespace minnow::minnowengine

@@ -46,6 +46,29 @@ MinnowSystem::MinnowSystem(Machine *machine,
         machine->monitor.subscribeTermination(
             [raw] { raw->onTerminate(); });
     }
+    // Schedule any engine_kill/engine_stall/credit_starve clauses
+    // aimed at our engines.
+    if (machine->faults) {
+        for (auto &eng : engines_)
+            eng->armFaults(*machine->faults);
+    }
+    // Global-queue visibility in stats dumps and watchdog
+    // diagnostics (fresh per run; removed again in the destructor).
+    StatsGroup &wg = machine->stats.freshGroup("worklist");
+    wg.formula("size", "tasks in the software global queue",
+               [this] { return double(global_.size()); });
+    wg.formula("spills", "tasks spilled by engines",
+               [this] { return double(global_.spills()); });
+    wg.formula("fills", "engine fill batches served",
+               [this] { return double(global_.fills()); });
+    wg.formula("softwarePops",
+               "degraded-mode pops by workers of faulted engines",
+               [this] { return double(global_.softwarePops()); });
+}
+
+MinnowSystem::~MinnowSystem()
+{
+    machine_->stats.removeGroup("worklist");
 }
 
 void
@@ -108,6 +131,12 @@ MinnowSystem::totals() const
             std::max(t.prefetchPendingPeak, s.prefetchPendingPeak);
         t.prefetchCancelled += s.prefetchCancelled;
         t.cuBusyCycles += s.cuBusyCycles;
+        t.faultKills += s.faultKills;
+        t.faultStalls += s.faultStalls;
+        t.tasksRescued += s.tasksRescued;
+        t.fallbackPops += s.fallbackPops;
+        t.prefetchDropped += s.prefetchDropped;
+        t.creditsLost += s.creditsLost;
     }
     return t;
 }

@@ -40,6 +40,9 @@ class MinnowSystem
                  const PrefetchProgram &program,
                  std::uint32_t engines);
 
+    /** Drops the "worklist" stats group (formulas capture this). */
+    ~MinnowSystem();
+
     MinnowEngine &engine(CoreId core)
     {
         return *engines_[core / coresPerEngine_];

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/sim_alloc.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
@@ -22,6 +23,8 @@
 #include "runtime/work_monitor.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
+#include "sim/watchdog.hh"
 
 namespace minnow::runtime
 {
@@ -46,7 +49,26 @@ class Machine
         registerStats();
         if (cfg.statsSampleInterval)
             stats.startSampling(eq, cfg.statsSampleInterval);
+        if (!cfg.faultSpec.empty()) {
+            faults = std::make_unique<FaultInjector>(cfg.faultSpec,
+                                                     cfg.faultSeed);
+            faults->bindClock(&eq.nowRef());
+            faults->registerStats(stats);
+            memory.setFaultInjector(faults.get());
+        }
+        if (cfg.watchdogInterval) {
+            watchdog = std::make_unique<Watchdog>(
+                this, cfg.watchdogInterval, cfg.watchdogChecks);
+            watchdog->arm();
+        }
+        // A timed-out run leaves the same post-mortem as a hung one.
+        eq.setDiagnosticHook([this](const char *reason) {
+            dumpDiagnostic(*this, reason);
+        });
+        panicHookId_ = addPanicHook(&Machine::panicHook, this);
     }
+
+    ~Machine() { removePanicHook(panicHookId_); }
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -85,7 +107,31 @@ class Machine
      */
     StatsRegistry stats;
 
+    /** Deterministic fault injection; null when --faults is unset. */
+    std::unique_ptr<FaultInjector> faults;
+
+    /** Hang detector; null when --watchdog is unset. */
+    std::unique_ptr<Watchdog> watchdog;
+
   private:
+    /**
+     * panic() post-mortem: best-effort stats snapshot so invariant
+     * failures leave inspectable state (cfg.panicStatsPath).
+     */
+    static void
+    panicHook(void *arg)
+    {
+        auto *m = static_cast<Machine *>(arg);
+        if (m->cfg.panicStatsPath.empty())
+            return;
+        if (m->stats.writeJsonFile(m->cfg.panicStatsPath)) {
+            std::fprintf(stderr, "panic stats snapshot written to"
+                         " %s\n", m->cfg.panicStatsPath.c_str());
+        }
+    }
+
+    int panicHookId_ = 0;
+
     /** Register sim/core/l2/mem groups over the built components. */
     void
     registerStats()

@@ -32,6 +32,8 @@ MachineConfig::validate() const
              "prefetching requires Minnow engines");
     fatal_if(minnow.prefetchEnabled && minnow.prefetchCredits == 0,
              "prefetching requires at least one credit");
+    fatal_if(watchdogInterval != 0 && watchdogChecks == 0,
+             "watchdog needs at least one stale check to trip");
 }
 
 void
@@ -55,6 +57,18 @@ MachineConfig::applyOptions(const Options &opts)
 
     statsSampleInterval = std::uint32_t(
         opts.getUint("stats-interval", statsSampleInterval));
+
+    // Robustness knobs: fault injection and the hang watchdog. The
+    // injector reuses the benches' --seed so a fault run replays
+    // from the same command line.
+    faultSpec = opts.getString("faults", faultSpec);
+    faultSeed = opts.getUint("seed", faultSeed);
+    watchdogInterval = std::uint32_t(
+        opts.getUint("watchdog", watchdogInterval));
+    watchdogChecks = std::uint32_t(
+        opts.getUint("watchdog-checks", watchdogChecks));
+    diagnosticPath = opts.getString("diag-json", diagnosticPath);
+    panicStatsPath = opts.getString("panic-stats", panicStatsPath);
 
     minnow.enabled = opts.getBool("minnow", minnow.enabled);
     minnow.prefetchEnabled =

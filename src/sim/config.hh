@@ -172,6 +172,38 @@ struct MachineConfig
      */
     std::uint32_t statsSampleInterval = 0;
 
+    /**
+     * Fault-injection spec (--faults=; see sim/fault.hh for the
+     * grammar). Empty disables injection entirely.
+     */
+    std::string faultSpec;
+
+    /** RNG seed for the fault injector (--seed; replay contract). */
+    std::uint64_t faultSeed = 1;
+
+    /**
+     * Watchdog check interval in cycles (--watchdog=). When nonzero
+     * the machine arms a sim/watchdog.hh Watchdog that panics with a
+     * structured diagnostic after `watchdogChecks` consecutive
+     * checks without forward progress.
+     */
+    std::uint32_t watchdogInterval = 0;
+
+    /** Consecutive stale checks before the watchdog trips. */
+    std::uint32_t watchdogChecks = 4;
+
+    /**
+     * When nonempty, watchdog trips and event-budget timeouts write
+     * their diagnostic JSON here (--diag-json=).
+     */
+    std::string diagnosticPath;
+
+    /**
+     * Best-effort stats JSON written by panic() before aborting
+     * (--panic-stats=; empty disables the snapshot).
+     */
+    std::string panicStatsPath = "minnow-panic-stats.json";
+
     std::uint64_t totalL3Bytes() const
     {
         return std::uint64_t(numCores) * l3Bank.sizeBytes;

@@ -26,6 +26,8 @@ EventQueue::run(std::uint64_t maxEvents)
                 warn("event budget of %llu exhausted; stopping"
                      " simulation",
                      (unsigned long long)maxEvents);
+                if (diagHook_)
+                    diagHook_("event budget exhausted");
             }
             break;
         }

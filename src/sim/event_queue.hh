@@ -18,6 +18,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -67,6 +68,25 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
+    /** Cycle of the earliest pending event (now() when empty). */
+    Cycle
+    headTime() const
+    {
+        return heap_.empty() ? now_ : heap_.top().when;
+    }
+
+    /**
+     * Install a hook invoked when run() gives up with work still
+     * queued (event-budget exhaustion). The Machine points this at
+     * the watchdog's structured diagnostic dump so a timed-out run
+     * leaves the same post-mortem as a hung one.
+     */
+    void
+    setDiagnosticHook(std::function<void(const char *)> hook)
+    {
+        diagHook_ = std::move(hook);
+    }
+
     /**
      * Run events until the queue drains, stop() is called, or the
      * event budget is exhausted (a runaway-simulation guard).
@@ -115,6 +135,7 @@ class EventQueue
     Cycle now_ = 0;
     std::uint64_t seq_ = 0;
     bool stopped_ = false;
+    std::function<void(const char *)> diagHook_;
 };
 
 } // namespace minnow

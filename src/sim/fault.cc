@@ -1,0 +1,278 @@
+#include "sim/fault.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace minnow
+{
+
+namespace
+{
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::uint64_t
+parseUint(const std::string &clause, const std::string &key,
+          const std::string &value)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(value.c_str(), &end, 0);
+    fatal_if(end == value.c_str() || *end != '\0',
+             "fault clause '%s': bad value '%s' for key '%s'",
+             clause.c_str(), value.c_str(), key.c_str());
+    return v;
+}
+
+double
+parseProb(const std::string &clause, const std::string &value)
+{
+    char *end = nullptr;
+    double p = std::strtod(value.c_str(), &end);
+    fatal_if(end == value.c_str() || *end != '\0',
+             "fault clause '%s': bad probability '%s'",
+             clause.c_str(), value.c_str());
+    fatal_if(p < 0.0 || p > 1.0,
+             "fault clause '%s': probability %s outside [0, 1]",
+             clause.c_str(), value.c_str());
+    return p;
+}
+
+/** FNV-1a over the spec so different specs get unrelated streams. */
+std::uint64_t
+hashSpec(const std::string &spec)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : spec) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+const char *
+FaultClause::kindName() const
+{
+    switch (kind) {
+      case Kind::EngineKill:
+        return "engine_kill";
+      case Kind::EngineStall:
+        return "engine_stall";
+      case Kind::NocDelay:
+        return "noc_delay";
+      case Kind::DramDelay:
+        return "dram_delay";
+      case Kind::DropPrefetch:
+        return "drop_prefetch";
+      case Kind::CreditStarve:
+        return "credit_starve";
+    }
+    return "?";
+}
+
+FaultClause
+FaultInjector::parseClause(const std::string &text)
+{
+    std::string clause = trim(text);
+    std::size_t colon = clause.find(':');
+    std::string kind = trim(clause.substr(0, colon));
+
+    FaultClause c;
+    bool needsCore = false;
+    if (kind == "engine_kill") {
+        c.kind = FaultClause::Kind::EngineKill;
+        needsCore = true;
+    } else if (kind == "engine_stall") {
+        c.kind = FaultClause::Kind::EngineStall;
+        needsCore = true;
+    } else if (kind == "noc_delay") {
+        c.kind = FaultClause::Kind::NocDelay;
+    } else if (kind == "dram_delay") {
+        c.kind = FaultClause::Kind::DramDelay;
+    } else if (kind == "drop_prefetch") {
+        c.kind = FaultClause::Kind::DropPrefetch;
+    } else if (kind == "credit_starve") {
+        c.kind = FaultClause::Kind::CreditStarve;
+        needsCore = true;
+    } else {
+        fatal("unknown fault kind '%s' in clause '%s'", kind.c_str(),
+              clause.c_str());
+    }
+
+    if (colon != std::string::npos) {
+        for (const std::string &kvText :
+             split(clause.substr(colon + 1), ',')) {
+            std::string kv = trim(kvText);
+            std::size_t eq = kv.find('=');
+            fatal_if(eq == std::string::npos,
+                     "fault clause '%s': expected key=value, got "
+                     "'%s'", clause.c_str(), kv.c_str());
+            std::string key = trim(kv.substr(0, eq));
+            std::string value = trim(kv.substr(eq + 1));
+            if (key == "core") {
+                c.core = CoreId(parseUint(clause, key, value));
+            } else if (key == "at") {
+                c.at = parseUint(clause, key, value);
+            } else if (key == "dur") {
+                c.dur = parseUint(clause, key, value);
+            } else if (key == "p") {
+                c.p = parseProb(clause, value);
+            } else if (key == "add") {
+                c.add = parseUint(clause, key, value);
+            } else {
+                fatal("fault clause '%s': unknown key '%s'",
+                      clause.c_str(), key.c_str());
+            }
+        }
+    }
+
+    fatal_if(needsCore && c.core == FaultClause::kAnyCore,
+             "fault clause '%s' needs core=<id>", clause.c_str());
+    fatal_if(c.kind == FaultClause::Kind::EngineStall && c.dur == 0,
+             "fault clause '%s' needs dur=<cycles>", clause.c_str());
+    fatal_if((c.kind == FaultClause::Kind::NocDelay ||
+              c.kind == FaultClause::Kind::DramDelay) &&
+                 c.add == 0,
+             "fault clause '%s' needs add=<cycles>", clause.c_str());
+    return c;
+}
+
+FaultInjector::FaultInjector(const std::string &spec,
+                             std::uint64_t seed)
+    : spec_(spec), rng_(seed ^ hashSpec(spec))
+{
+    for (const std::string &clause : split(spec, ';')) {
+        if (trim(clause).empty())
+            continue;
+        clauses_.push_back(parseClause(clause));
+    }
+    fatal_if(clauses_.empty(), "fault spec '%s' has no clauses",
+             spec.c_str());
+}
+
+bool
+FaultInjector::inWindow(const FaultClause &c) const
+{
+    Cycle t = now();
+    if (t < c.at)
+        return false;
+    return c.dur == 0 || t < c.at + c.dur;
+}
+
+bool
+FaultInjector::targets(const FaultClause &c, CoreId core)
+{
+    return c.core == FaultClause::kAnyCore || c.core == core;
+}
+
+Cycle
+FaultInjector::nocExtraDelay()
+{
+    Cycle extra = 0;
+    for (const FaultClause &c : clauses_) {
+        if (c.kind != FaultClause::Kind::NocDelay || !inWindow(c))
+            continue;
+        if (rng_.chance(c.p)) {
+            stats_.nocDelays += 1;
+            stats_.nocDelayCycles += c.add;
+            extra += c.add;
+        }
+    }
+    return extra;
+}
+
+Cycle
+FaultInjector::dramExtraDelay()
+{
+    Cycle extra = 0;
+    for (const FaultClause &c : clauses_) {
+        if (c.kind != FaultClause::Kind::DramDelay || !inWindow(c))
+            continue;
+        if (rng_.chance(c.p)) {
+            stats_.dramDelays += 1;
+            stats_.dramDelayCycles += c.add;
+            extra += c.add;
+        }
+    }
+    return extra;
+}
+
+bool
+FaultInjector::dropPrefetch(CoreId core)
+{
+    for (const FaultClause &c : clauses_) {
+        if (c.kind != FaultClause::Kind::DropPrefetch ||
+            !targets(c, core) || !inWindow(c))
+            continue;
+        if (rng_.chance(c.p)) {
+            stats_.prefetchDrops += 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::swallowCreditReturn(CoreId core)
+{
+    for (const FaultClause &c : clauses_) {
+        if (c.kind != FaultClause::Kind::CreditStarve ||
+            !targets(c, core) || !inWindow(c))
+            continue;
+        stats_.creditsSwallowed += 1;
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::registerStats(StatsRegistry &reg)
+{
+    StatsGroup &g = reg.freshGroup("faults");
+    g.formula("clauses", "parsed fault clauses in the spec",
+              [this] { return double(clauses_.size()); });
+    g.formula("nocDelays", "NoC traversals hit by a delay fault",
+              [this] { return double(stats_.nocDelays); });
+    g.formula("nocDelayCycles", "extra NoC cycles injected",
+              [this] { return double(stats_.nocDelayCycles); });
+    g.formula("dramDelays", "DRAM accesses hit by a delay fault",
+              [this] { return double(stats_.dramDelays); });
+    g.formula("dramDelayCycles", "extra DRAM cycles injected",
+              [this] { return double(stats_.dramDelayCycles); });
+    g.formula("prefetchDrops", "prefetch issues dropped by faults",
+              [this] { return double(stats_.prefetchDrops); });
+    g.formula("creditsSwallowed",
+              "credit returns lost to starvation faults",
+              [this] { return double(stats_.creditsSwallowed); });
+}
+
+} // namespace minnow

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/stats.hh"
 #include "base/types.hh"
 #include "runtime/sim_context.hh"
 #include "runtime/task.hh"
@@ -45,7 +46,28 @@ constexpr std::uint32_t kItemBytes = 16;
 class Worklist
 {
   public:
-    virtual ~Worklist() = default;
+    virtual ~Worklist()
+    {
+        if (statsReg_)
+            statsReg_->removeGroup("worklist");
+    }
+
+    /**
+     * Attach this worklist's observability group ("worklist") to the
+     * machine's registry: a live size formula, plus whatever run
+     * counters the executor adds to the returned group. The group is
+     * removed when the worklist dies, so formulas capturing `this`
+     * cannot dangle in a registry that outlives the run.
+     */
+    StatsGroup &
+    attachStats(StatsRegistry &reg)
+    {
+        statsReg_ = &reg;
+        StatsGroup &g = reg.freshGroup("worklist");
+        g.formula("size", "tasks currently queued",
+                  [this] { return double(size()); });
+        return g;
+    }
 
     /** Timed enqueue executed on the calling worker's core. */
     virtual runtime::CoTask<void> push(runtime::SimContext &ctx,
@@ -69,6 +91,9 @@ class Worklist
 
     /** Scheduler name for reports ("obim", "cfifo", ...). */
     virtual std::string name() const = 0;
+
+  private:
+    StatsRegistry *statsReg_ = nullptr;
 };
 
 } // namespace minnow::worklist

@@ -316,5 +316,88 @@ TEST(WorkMonitor, TerminationHookFires)
     EXPECT_TRUE(mon.terminated());
 }
 
+TEST(WorkMonitor, ParkedWorkerWakesWhenPrivateWorkTurnsStealable)
+{
+    // The engine-degradation handoff in a nutshell: a worker parks
+    // while only private (non-stealable) work exists; rescuing that
+    // work to the global queue is a transferWork(n, true), which
+    // must wake the parked worker with "more work" rather than
+    // letting it sleep to a false termination.
+    EventQueue eq;
+    WorkMonitor mon(&eq, 2);
+    mon.addWork(1, false); // private to a (faulted) engine.
+    std::vector<bool> results;
+    auto waiter = [](WorkMonitor &mon,
+                     std::vector<bool> &out) -> CoTask<void> {
+        out.push_back(co_await mon.waitForWork());
+    };
+    CoTask<void> t0 = waiter(mon, results);
+    t0.start();
+    eq.run();
+    EXPECT_TRUE(results.empty()); // parked: nothing stealable.
+    mon.transferWork(1, true);    // the rescue.
+    eq.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0]);
+    EXPECT_FALSE(mon.terminated());
+    EXPECT_EQ(mon.stealable(), 1u);
+    EXPECT_EQ(mon.pending(), 1u);
+}
+
+TEST(WorkMonitor, TerminationDeclaredExactlyOnce)
+{
+    EventQueue eq;
+    WorkMonitor mon(&eq, 2);
+    int hookFires = 0;
+    mon.subscribeTermination([&] { hookFires += 1; });
+    mon.addWork(2, false);
+    mon.enterIdle(); // one worker idle, work pending: no trigger.
+    mon.exitIdle();
+    mon.takeWork(2, false);
+    mon.enterIdle();
+    mon.enterIdle(); // all idle && pending==0: terminates.
+    EXPECT_TRUE(mon.terminated());
+    // Further idle transitions must not re-fire the hooks.
+    EXPECT_EQ(hookFires, 1);
+}
+
+TEST(EventQueue, DiagnosticHookFiresOnceOnBudgetExhaustion)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Cycle t = 1; t <= 3; ++t)
+        eq.schedule(t, [](void *p) { (*static_cast<int *>(p))++; },
+                    &fired);
+    int hookCalls = 0;
+    std::string reason;
+    eq.setDiagnosticHook([&](const char *r) {
+        hookCalls += 1;
+        reason = r;
+    });
+    clearWarnings();
+    EXPECT_EQ(eq.run(2), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(hookCalls, 1);
+    EXPECT_EQ(reason, "event budget exhausted");
+    clearWarnings();
+
+    // A drained run must not call the hook.
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(hookCalls, 1);
+}
+
+TEST(PanicHooks, AddAndRemove)
+{
+    // Hooks are exercised for real by the death tests in
+    // fault_test.cc; here only the registry plumbing is checked.
+    static int calls;
+    calls = 0;
+    int id = addPanicHook([](void *) { calls += 1; }, nullptr);
+    EXPECT_GT(id, 0);
+    removePanicHook(id);
+    removePanicHook(id); // double-remove is harmless.
+}
+
 } // anonymous namespace
 } // namespace minnow::runtime
