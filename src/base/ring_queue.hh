@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Growable ring-buffer FIFO that recycles its storage.
+ *
+ * std::deque allocates and frees fixed-size blocks as elements flow
+ * through it, so a queue that oscillates around a small size (the
+ * engine waiter queues, which fill and drain every few cycles) pays
+ * an allocator round-trip in steady state. RingQueue keeps one
+ * power-of-two contiguous buffer that only ever grows, giving
+ * allocation-free push/pop once the high-water mark is reached.
+ *
+ * Interface is the std::deque subset the engine hot path uses:
+ * push_back / front / back / pop_front / pop_back / size / empty /
+ * clear, plus reserve() to pre-size the buffer. Elements must be
+ * trivially relocatable in practice (they are moved on growth);
+ * everything queued here is a handle, pointer, or small POD pair.
+ */
+
+#ifndef MINNOW_BASE_RING_QUEUE_HH
+#define MINNOW_BASE_RING_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace minnow
+{
+
+template <typename T>
+class RingQueue
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /** Grow the buffer to hold at least @p n elements. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > buf_.size())
+            grow(n);
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (count_ == buf_.size())
+            grow(count_ + 1);
+        buf_[(head_ + count_) & (buf_.size() - 1)] = v;
+        ++count_;
+    }
+
+    void
+    push_back(T &&v)
+    {
+        if (count_ == buf_.size())
+            grow(count_ + 1);
+        buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(v);
+        ++count_;
+    }
+
+    T &
+    front()
+    {
+        panic_if(count_ == 0, "front() on empty RingQueue");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        panic_if(count_ == 0, "front() on empty RingQueue");
+        return buf_[head_];
+    }
+
+    T &
+    back()
+    {
+        panic_if(count_ == 0, "back() on empty RingQueue");
+        return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
+    }
+
+    void
+    pop_front()
+    {
+        panic_if(count_ == 0, "pop_front() on empty RingQueue");
+        buf_[head_] = T{}; // drop references held by the slot
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        panic_if(count_ == 0, "pop_back() on empty RingQueue");
+        buf_[(head_ + count_ - 1) & (buf_.size() - 1)] = T{};
+        --count_;
+    }
+
+    /** Empty the queue; buffer capacity is retained. */
+    void
+    clear()
+    {
+        while (count_ != 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    void
+    grow(std::size_t need)
+    {
+        std::size_t cap = buf_.empty() ? 8 : buf_.size();
+        while (cap < need)
+            cap *= 2;
+        std::vector<T> nbuf(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            nbuf[i] =
+                std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(nbuf);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_; //!< power-of-two capacity (or empty)
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace minnow
+
+#endif // MINNOW_BASE_RING_QUEUE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/hostprof.hh"
 
 namespace minnow::cpu
 {
@@ -167,6 +168,7 @@ OooCore::sqConstraint()
 Cycle
 OooCore::load(Addr addr, Cycle dep, const LoadInfo &info)
 {
+    HostProfScope hp(HostClass::Core);
     Cycle before = frontier();
     Cycle lq = lqConstraint();
     if (lq > minIssue_)
@@ -219,6 +221,7 @@ OooCore::cheapLoads(std::uint32_t n)
 Cycle
 OooCore::store(Addr addr, Cycle dep)
 {
+    HostProfScope hp(HostClass::Core);
     Cycle before = frontier();
     Cycle sq = sqConstraint();
     if (sq > minIssue_)
@@ -247,6 +250,7 @@ OooCore::store(Addr addr, Cycle dep)
 Cycle
 OooCore::atomic(Addr addr, Cycle dep)
 {
+    HostProfScope hp(HostClass::Core);
     Cycle before = frontier();
     Cycle lq = std::max(lqConstraint(), sqConstraint());
     if (lq > minIssue_)

@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "sim/fault.hh"
+#include "sim/hostprof.hh"
 
 namespace minnow::mem
 {
@@ -74,7 +75,9 @@ MemorySystem::invalidatePrivate(CoreId core, Addr lnum)
         }
         if (line->dirty)
             stats_[core].writebacks += 1;
-        l2_[core].invalidate(lnum);
+        // The lookup above already found the frame; invalidate in
+        // place instead of paying a second set walk.
+        line->valid = false;
     }
     l1_[core].invalidate(lnum);
     stats_[core].invalidationsTaken += 1;
@@ -115,21 +118,23 @@ MemorySystem::handleL2Eviction(CoreId core, const Eviction &ev)
     }
 }
 
-void
+CacheLine *
 MemorySystem::fillL3(std::uint32_t bank, Addr lnum)
 {
     // Non-inclusive (Skylake-like) L3: victims do not back-
     // invalidate private copies; the directory is a standalone
     // snoop filter.
     Eviction ev;
-    l3_[bank].fill(lnum, false, ev);
+    CacheLine *line = l3_[bank].fill(lnum, false, ev);
     if (ev.valid && ev.dirty)
         dram_.access(ev.lineNum, 0); // book writeback bandwidth.
+    return line;
 }
 
 AccessResult
 MemorySystem::access(const MemAccess &req)
 {
+    HostProfScope hp(HostClass::Memory);
     panic_if(req.core >= cfg_.numCores, "access from bogus core %u",
              req.core);
     MemStats &st = stats_[req.core];
@@ -206,17 +211,19 @@ MemorySystem::access(const MemAccess &req)
         if (isWrite)
             l2line->dirty = true;
         if (!req.engine && !req.prefetch) {
-            // Refill L1 under inclusion.
-            if (!l1_[req.core].probe(lnum)) {
+            // Refill L1 under inclusion. A single walk serves both
+            // the refill check and the write-dirty update (hoisted
+            // from a probe + a second lookup): nothing between the
+            // two steps can displace the line.
+            CacheLine *f = l1_[req.core].lookup(lnum);
+            if (!f) {
                 Eviction ev;
-                CacheLine *f = l1_[req.core].fill(lnum, false, ev);
+                f = l1_[req.core].fill(lnum, false, ev);
                 f->exclusive = l2line->exclusive;
                 // L1 victims stay in L2 (dirty already propagated).
             }
-            if (isWrite) {
-                if (CacheLine *f = l1_[req.core].lookup(lnum))
-                    f->dirty = true;
-            }
+            if (isWrite)
+                f->dirty = true;
         }
         st.l2Hits += 1;
         res.done = serializeAtomic(done + extra);
@@ -259,8 +266,14 @@ MemorySystem::access(const MemAccess &req)
         if (faults_)
             t += faults_->dramExtraDelay();
         st.memAccesses += 1;
-        fillL3(bank, lnum);
-        l3line = l3_[bank].lookup(lnum);
+        // l3line must be re-established after dram_.access(): the
+        // frame only exists once fillL3() installs it, and the fill
+        // may displace a dirty victim whose writeback has to be
+        // booked against DRAM after the demand access above. The
+        // pre-directory lookup result (a miss) cannot be hoisted
+        // over that; fillL3 hands back the new frame so no second
+        // set walk is paid.
+        l3line = fillL3(bank, lnum);
         res.level = HitLevel::Mem;
     }
 

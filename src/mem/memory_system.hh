@@ -208,8 +208,11 @@ class MemorySystem
     /** Handle L2 victim: writeback, inclusion, credits, directory. */
     void handleL2Eviction(CoreId core, const Eviction &ev);
 
-    /** Fill L3 bank and directory for a line fetched from memory. */
-    void fillL3(std::uint32_t bank, Addr lnum);
+    /**
+     * Fill L3 bank for a line fetched from memory; returns the
+     * installed frame (saves the caller a re-lookup).
+     */
+    CacheLine *fillL3(std::uint32_t bank, Addr lnum);
 
     /** Run the baseline hardware prefetcher for one demand load. */
     void runHwPrefetcher(const MemAccess &req, Cycle when);

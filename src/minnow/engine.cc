@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/trace.hh"
+#include "sim/hostprof.hh"
 
 namespace minnow::minnowengine
 {
@@ -19,7 +20,7 @@ struct MinnowEngine::SpawnGate
     std::uint32_t reservedFree = 1; //!< reserved child slots free.
     std::uint32_t active = 0;       //!< children in flight.
     struct ChildWaiter;
-    std::deque<ChildWaiter *> spawnWaiters;
+    RingQueue<ChildWaiter *> spawnWaiters;
     std::coroutine_handle<> joinWaiter;
 
     struct ChildWaiter
@@ -53,7 +54,7 @@ struct WaitAt
 struct PoolAcquire
 {
     std::uint32_t *free;
-    std::deque<std::coroutine_handle<>> *waiters;
+    RingQueue<std::coroutine_handle<>> *waiters;
     std::uint64_t *stallStat;
 
     bool
@@ -135,6 +136,15 @@ MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
     prefetchWindow_ = params_.prefetchWindow
         ? params_.prefetchWindow
         : std::max(4u, params_.prefetchCredits / 4);
+
+    // Pre-size the hot-path waiter rings to their structural bounds
+    // so steady-state park/wake cycles never touch the allocator.
+    threadletSlotWaiters_.reserve(total);
+    loadBufWlWaiters_.reserve(lb);
+    loadBufPfWaiters_.reserve(lb);
+    creditWaiters_.reserve(params_.prefetchCredits);
+    pendingPrefetch_.reserve(params_.localQueueEntries);
+    blockedWorkers_.reserve(8);
 
     registerStats();
 }
@@ -308,6 +318,7 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
 void
 MinnowEngine::creditReturn(bool used)
 {
+    HostProfScope hp(HostClass::Engine);
     // Injected credit starvation: the return message is lost and the
     // pool shrinks until the fault window closes. Waiting threadlets
     // stay parked; prefetching degrades, the worklist path (its own
@@ -391,6 +402,10 @@ MinnowEngine::tryPendingPrefetch()
 void
 MinnowEngine::adoptThreadlet(CoTask<void> body)
 {
+    // Covers the synchronous prefix of the threadlet body (it runs
+    // to its first suspension inside start()); time it spends in the
+    // memory system is re-attributed by the nested scope there.
+    HostProfScope hp(HostClass::Engine);
     stats_.threadletsSpawned += 1;
     threadletOccupancyHist_->sample(params_.threadletQueueEntries -
                                     threadletSlotsFree_ -
@@ -424,6 +439,7 @@ MinnowEngine::startPrefetchTask(WorkItem item, std::uint64_t seq)
 void
 MinnowEngine::insertLocal(WorkItem item)
 {
+    HostProfScope hp(HostClass::Engine);
     panic_if(localQ_.size() >= params_.localQueueEntries,
              "local queue overflow");
     localQ_.push_back(item);
@@ -446,6 +462,7 @@ MinnowEngine::insertLocal(WorkItem item)
 WorkItem
 MinnowEngine::popLocal()
 {
+    HostProfScope hp(HostClass::Engine);
     panic_if(localQ_.empty(), "pop from empty local queue");
     WorkItem item = localQ_.front();
     localQ_.pop_front();

@@ -36,6 +36,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/ring_queue.hh"
 #include "graph/csr.hh"
 #include "minnow/global_queue.hh"
 #include "runtime/machine.hh"
@@ -343,7 +344,7 @@ class MinnowEngine
         std::coroutine_handle<> handle;
         std::optional<WorkItem> *slot;
     };
-    std::deque<BlockedWorker> blockedWorkers_;
+    RingQueue<BlockedWorker> blockedWorkers_;
 
     // Back-end resource pools. The threadlet queue is partitioned
     // into virtual queues per threadlet type (Section 5.3.2):
@@ -354,10 +355,13 @@ class MinnowEngine
     std::uint32_t loadBufWlFree_;       //!< worklist share.
     std::uint32_t loadBufPfFree_;       //!< prefetch share.
     std::uint32_t creditsFree_;
-    std::deque<std::coroutine_handle<>> threadletSlotWaiters_;
-    std::deque<std::coroutine_handle<>> loadBufWlWaiters_;
-    std::deque<std::coroutine_handle<>> loadBufPfWaiters_;
-    std::deque<std::coroutine_handle<>> creditWaiters_;
+    // Waiter queues churn every few cycles in steady state; they are
+    // RingQueues (storage-recycling) so waking/parking threadlets
+    // never touches the allocator once warm.
+    RingQueue<std::coroutine_handle<>> threadletSlotWaiters_;
+    RingQueue<std::coroutine_handle<>> loadBufWlWaiters_;
+    RingQueue<std::coroutine_handle<>> loadBufPfWaiters_;
+    RingQueue<std::coroutine_handle<>> creditWaiters_;
 
     Cycle cuBusyUntil_ = 0;
 
@@ -368,7 +372,7 @@ class MinnowEngine
     // Prefetch requests waiting for threadlet-queue slots, in
     // local-queue order; entries whose task is consumed first are
     // dropped (prefetching them would be pure pollution).
-    std::deque<std::pair<WorkItem, std::uint64_t>> pendingPrefetch_;
+    RingQueue<std::pair<WorkItem, std::uint64_t>> pendingPrefetch_;
 
     // Insert/consume sequence numbers driving prefetch-staleness
     // cancellation: a threadlet whose task was consumed a while ago

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "minnow/engine.hh"
+#include "sim/hostprof.hh"
 
 namespace minnow::minnowengine
 {
@@ -22,6 +23,7 @@ MinnowGlobalQueue::MinnowGlobalQueue(SimAlloc *alloc,
 MinnowGlobalQueue::Bucket &
 MinnowGlobalQueue::ensureBucket(std::int64_t b)
 {
+    HostProfScope hp(HostClass::Worklist);
     auto it = buckets_.find(b);
     if (it == buckets_.end()) {
         Bucket bkt;
@@ -39,6 +41,7 @@ MinnowGlobalQueue::ensureBucket(std::int64_t b)
 std::int64_t
 MinnowGlobalQueue::minBucket() const
 {
+    HostProfScope hp(HostClass::Worklist);
     for (const auto &[b, bkt] : buckets_) {
         if (bkt.total() > 0)
             return b;

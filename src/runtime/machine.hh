@@ -24,6 +24,7 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/hostprof.hh"
 #include "sim/watchdog.hh"
 
 namespace minnow::runtime
@@ -60,6 +61,12 @@ class Machine
             watchdog = std::make_unique<Watchdog>(
                 this, cfg.watchdogInterval, cfg.watchdogChecks);
             watchdog->arm();
+        }
+        if (cfg.hostProfile) {
+            hostprof = std::make_unique<HostProfiler>();
+            hostprof->registerStats(stats);
+            eq.setHostProfiler(hostprof.get());
+            hostprof->activate();
         }
         // A timed-out run leaves the same post-mortem as a hung one.
         eq.setDiagnosticHook([this](const char *reason) {
@@ -112,6 +119,9 @@ class Machine
 
     /** Hang detector; null when --watchdog is unset. */
     std::unique_ptr<Watchdog> watchdog;
+
+    /** Host-speed self-profiler; null when --host-profile is unset. */
+    std::unique_ptr<HostProfiler> hostprof;
 
   private:
     /**

@@ -57,6 +57,7 @@ MachineConfig::applyOptions(const Options &opts)
 
     statsSampleInterval = std::uint32_t(
         opts.getUint("stats-interval", statsSampleInterval));
+    hostProfile = opts.getBool("host-profile", hostProfile);
 
     // Robustness knobs: fault injection and the hang watchdog. The
     // injector reuses the benches' --seed so a fault run replays

@@ -204,6 +204,14 @@ struct MachineConfig
      */
     std::string panicStatsPath = "minnow-panic-stats.json";
 
+    /**
+     * Host-side self-profiling (--host-profile): measure events/sec,
+     * host-ns per component class and queue-occupancy histograms,
+     * exported as the "hostprof" stats group. Off by default (it
+     * adds two clock reads per instrumented component entry).
+     */
+    bool hostProfile = false;
+
     std::uint64_t totalL3Bytes() const
     {
         return std::uint64_t(numCores) * l3Bank.sizeBytes;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/hostprof.hh"
 
 namespace minnow::worklist
 {
@@ -50,6 +51,7 @@ ObimWorklist::GlobalBucket &
 ObimWorklist::ensureBucket(SimContext &ctx, std::int64_t bucket,
                            bool &created)
 {
+    HostProfScope hp(HostClass::Worklist);
     auto it = buckets_.find(bucket);
     created = it == buckets_.end();
     if (created) {
