@@ -31,6 +31,23 @@
  *   --panic-stats=<path> best-effort stats snapshot on panic()
  *                        (default minnow-panic-stats.json).
  *
+ * Observability knobs:
+ *   --debug-file=<path>  route DPRINTF debug-flag records to a file
+ *                        instead of stderr (fatal if unwritable).
+ *   --timeline=<path>    record simulated-time span/instant/counter
+ *                        events and write a Chrome trace_event JSON
+ *                        (open in Perfetto) when the machine is torn
+ *                        down. Adds a "timeline" stats group with
+ *                        task-latency percentiles.
+ *   --timeline-buffer=<n>  ring-buffer capacity in events (default
+ *                        262144); on overflow the oldest events are
+ *                        dropped and counted.
+ *   --timeline-tracks=a,b  category filter, from task, engine,
+ *                        threadlet, credit, worklist, mem, sim
+ *                        (default all).
+ *   --timeline-interval=<n>  counter-track sampling period in cycles
+ *                        (default 1024; 0 disables sampling).
+ *
  * Output convention: each bench prints the paper's rows/series as a
  * fixed-width table, with the paper's published value alongside where
  * one exists, so shape comparisons are one glance.
@@ -162,6 +179,9 @@ parseArgs(const Options &opts, double defaultScale = 1.0,
         std::uint32_t(opts.getUint("threads", defaultThreads));
     a.seed = opts.getUint("seed", 1);
     a.maxEvents = opts.getUint("max-events", a.maxEvents);
+    std::string dbg = opts.getString("debug-file", "");
+    if (!dbg.empty())
+        trace::setOutputFile(dbg);
     trace::enableList(opts.getString("debug-flags", ""));
     a.statsDir = opts.getString("stats-dir", "");
     std::string sj = opts.getString("stats-json", "");

@@ -8,6 +8,12 @@ entry must carry its identifying parameters plus a full
 expose the acceptance metrics (per-core L2 MPKI, prefetch
 coverage/accuracy, credit-stall counters).
 
+The sweep runs with --host-profile=true and --timeline, so the
+snapshot must also carry the observability groups: "hostprof" (host
+wall-clock attribution) and "timeline" (event counts plus the
+pop-wait/dequeue/execute/push latency percentiles), all numeric and
+non-negative.
+
 Usage: check_stats_json.py <path-to-fig18-binary>
 Exit status 0 on success; prints the first failure otherwise.
 """
@@ -103,6 +109,35 @@ def check_minnow_pf_groups(groups, i):
             fail(f"runs[{i}]: group {g} lacks creditStalls")
 
 
+def check_observability_groups(groups, i):
+    """The --host-profile / --timeline groups (PR 4)."""
+    for gname in ("hostprof", "timeline"):
+        g = groups.get(gname)
+        if g is None:
+            fail(f"runs[{i}]: no {gname} group")
+        for sname, sval in g.items():
+            if isinstance(sval, dict):
+                continue  # histograms checked by check_run_entry.
+            if not isinstance(sval, (int, float)):
+                fail(f"runs[{i}] {gname}.{sname}: non-numeric")
+            if sval < 0:
+                fail(f"runs[{i}] {gname}.{sname}: negative ({sval})")
+    tl = groups["timeline"]
+    for key in (
+        "events",
+        "droppedEvents",
+        "bufferCapacity",
+        "popWaitP50",
+        "dequeueP95",
+        "executeP99",
+        "pushP50",
+    ):
+        if key not in tl:
+            fail(f"runs[{i}]: timeline group lacks {key}")
+    if tl["events"] <= 0:
+        fail(f"runs[{i}]: timeline recorded no events")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: check_stats_json.py <fig18-binary>")
@@ -110,6 +145,7 @@ def main():
 
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "stats.json")
+        trace = os.path.join(tmp, "trace.json")
         cmd = [
             bench,
             "--workloads=sssp",
@@ -117,6 +153,8 @@ def main():
             "--threads=4",
             "--cores=4",
             "--credits-list=4",
+            "--host-profile=true",
+            f"--timeline={trace}",
             f"--stats-json={out}",
         ]
         proc = subprocess.run(
@@ -145,6 +183,7 @@ def main():
         if run["config"] == "minnow-pf":
             saw_pf = True
             check_minnow_pf_groups(groups, i)
+            check_observability_groups(groups, i)
     if not saw_pf:
         fail("no minnow-pf run in the sweep output")
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Summarize a --timeline trace (Chrome trace_event JSON).
+
+Rebuilds span durations from the B/E stream (per-(pid, tid) stacks,
+so nested spans attribute correctly), aggregates them by span name,
+and prints count / total cycles / mean / p50 / p95 / p99 per name,
+plus instant-event counts and the ranges of every counter track.
+Percentiles here are exact (computed from the individual durations),
+unlike the bucketed approximations in the "timeline" stats group.
+
+Usage:
+  trace_summary.py TRACE.json
+  trace_summary.py --compare A.json B.json
+
+--compare prints the two summaries side by side with the B/A ratio of
+mean duration per span name — the quick way to answer "where did the
+cycles go" between a baseline and a Minnow run (fig05 in two
+commands) or between two credit settings.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_summary: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents array")
+    return doc, events
+
+
+def summarize(events):
+    """Return (spans, instants, counters) aggregates."""
+    stacks = {}
+    spans = {}  # name -> list of durations.
+    instants = {}  # name -> count.
+    counters = {}  # name -> [min, max, samples].
+    for e in events:
+        ph = e.get("ph")
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(e)
+        elif ph == "E":
+            st = stacks.get(key)
+            if not st:
+                fail(f"unbalanced E event on track {key}")
+            b = st.pop()
+            spans.setdefault(b["name"], []).append(
+                e["ts"] - b["ts"]
+            )
+        elif ph == "i":
+            instants[e["name"]] = instants.get(e["name"], 0) + 1
+        elif ph == "C":
+            v = e.get("args", {}).get("value", 0)
+            c = counters.setdefault(e["name"], [v, v, 0])
+            c[0] = min(c[0], v)
+            c[1] = max(c[1], v)
+            c[2] += 1
+    for key, st in stacks.items():
+        if st:
+            fail(f"{len(st)} unterminated spans on track {key}")
+    return spans, instants, counters
+
+
+def percentile(sorted_vals, frac):
+    if not sorted_vals:
+        return 0
+    idx = min(
+        len(sorted_vals) - 1, int(frac * (len(sorted_vals) - 1))
+    )
+    return sorted_vals[idx]
+
+
+def span_rows(spans):
+    rows = {}
+    for name, durs in spans.items():
+        durs.sort()
+        rows[name] = {
+            "count": len(durs),
+            "total": sum(durs),
+            "mean": sum(durs) / len(durs),
+            "p50": percentile(durs, 0.50),
+            "p95": percentile(durs, 0.95),
+            "p99": percentile(durs, 0.99),
+        }
+    return rows
+
+
+def print_summary(path, doc, spans, instants, counters):
+    other = doc.get("otherData", {})
+    print(f"== {path} ==")
+    print(
+        f"events recorded: {other.get('recordedEvents', '?')}"
+        f"  dropped: {other.get('droppedEvents', '?')}"
+        f"  buffer: {other.get('capacity', '?')}"
+    )
+    rows = span_rows(spans)
+    if rows:
+        print(f"{'span':<14}{'count':>8}{'total':>12}{'mean':>10}"
+              f"{'p50':>8}{'p95':>8}{'p99':>8}")
+        for name in sorted(rows, key=lambda n: -rows[n]["total"]):
+            r = rows[name]
+            print(
+                f"{name:<14}{r['count']:>8}{r['total']:>12}"
+                f"{r['mean']:>10.1f}{r['p50']:>8}{r['p95']:>8}"
+                f"{r['p99']:>8}"
+            )
+    if instants:
+        print("instants:")
+        for name in sorted(instants):
+            print(f"  {name:<22}{instants[name]:>8}")
+    if counters:
+        print("counters (min..max over samples):")
+        for name in sorted(counters):
+            lo, hi, n = counters[name]
+            print(f"  {name:<28}{lo:>10g}..{hi:<10g} ({n} samples)")
+
+
+def compare(path_a, path_b):
+    doc_a, ev_a = load_events(path_a)
+    doc_b, ev_b = load_events(path_b)
+    rows_a = span_rows(summarize(ev_a)[0])
+    rows_b = span_rows(summarize(ev_b)[0])
+    names = sorted(
+        set(rows_a) | set(rows_b),
+        key=lambda n: -(
+            rows_a.get(n, {}).get("total", 0)
+            + rows_b.get(n, {}).get("total", 0)
+        ),
+    )
+    print(f"A = {path_a}")
+    print(f"B = {path_b}")
+    print(
+        f"{'span':<14}{'countA':>8}{'countB':>8}{'meanA':>10}"
+        f"{'meanB':>10}{'B/A':>8}"
+    )
+    for name in names:
+        a = rows_a.get(name)
+        b = rows_b.get(name)
+        ca = a["count"] if a else 0
+        cb = b["count"] if b else 0
+        ma = a["mean"] if a else 0.0
+        mb = b["mean"] if b else 0.0
+        ratio = f"{mb / ma:.2f}" if a and b and ma else "-"
+        print(
+            f"{name:<14}{ca:>8}{cb:>8}{ma:>10.1f}{mb:>10.1f}"
+            f"{ratio:>8}"
+        )
+
+
+def main():
+    args = sys.argv[1:]
+    if len(args) == 3 and args[0] == "--compare":
+        compare(args[1], args[2])
+        return
+    if len(args) != 1:
+        fail(
+            "usage: trace_summary.py TRACE.json | "
+            "--compare A.json B.json"
+        )
+    doc, events = load_events(args[0])
+    spans, instants, counters = summarize(events)
+    print_summary(args[0], doc, spans, instants, counters)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        # Piping into `head` is a normal way to use this tool.
+        sys.exit(0)

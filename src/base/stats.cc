@@ -299,6 +299,7 @@ StatsRegistry::startSampling(EventQueue &eq, Cycle interval)
     sampler_->registry = this;
     sampler_->eq = &eq;
     sampler_->interval = interval;
+    eq.daemonScheduled();
     eq.schedule(eq.now() + interval, &StatsRegistry::sampleEvent,
                 sampler_.get());
 }
@@ -307,10 +308,13 @@ void
 StatsRegistry::sampleEvent(void *arg)
 {
     auto *s = static_cast<Sampler *>(arg);
+    s->eq->daemonFired();
     s->registry->recordSample(s->eq->now());
-    // Re-arm only while real work remains; a sampler that kept
-    // rescheduling itself would stop run() from ever draining.
-    if (!s->eq->empty()) {
+    // Re-arm only while non-daemon work remains: against empty()
+    // alone, this sampler and any other periodic daemon (timeline
+    // sampler, watchdog) would keep each other alive forever.
+    if (!s->eq->quiescent()) {
+        s->eq->daemonScheduled();
         s->eq->schedule(s->eq->now() + s->interval,
                         &StatsRegistry::sampleEvent, s);
     }

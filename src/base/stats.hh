@@ -317,6 +317,26 @@ class HistogramStat : public Stat
     std::uint64_t total() const { return total_; }
     double mean() const { return total_ ? double(sum_) / total_ : 0.0; }
 
+    /**
+     * Upper edge of the smallest bucket covering at least frac of
+     * the samples (bucket-width granularity); 0 when empty.
+     */
+    std::uint64_t
+    percentile(double frac) const
+    {
+        if (!total_)
+            return 0;
+        std::uint64_t want =
+            static_cast<std::uint64_t>(frac * double(total_));
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < counts_.size(); ++b) {
+            seen += counts_[b];
+            if (seen >= want)
+                return (b + 1) * width_ - 1;
+        }
+        return counts_.size() * width_ - 1;
+    }
+
     /** Histograms report their mean as the scalar value. */
     double value() const override { return mean(); }
 

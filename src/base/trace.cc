@@ -14,6 +14,7 @@ namespace
 
 std::uint32_t flags = 0;
 const Cycle *cycleSource = nullptr;
+std::FILE *out = nullptr; //!< nullptr = stderr.
 
 const std::map<std::string, Flag> &
 flagNames()
@@ -84,17 +85,31 @@ setCycleSource(const Cycle *now)
 }
 
 void
+setOutputFile(const std::string &path)
+{
+    if (out) {
+        std::fclose(out);
+        out = nullptr;
+    }
+    if (path.empty())
+        return;
+    out = std::fopen(path.c_str(), "w");
+    fatal_if(!out, "cannot open --debug-file %s", path.c_str());
+}
+
+void
 print(Flag f, const char *component, const char *fmt, ...)
 {
     (void)f;
+    std::FILE *dst = out ? out : stderr;
     Cycle now = cycleSource ? *cycleSource : 0;
-    std::fprintf(stderr, "%10llu: %-10s ",
+    std::fprintf(dst, "%10llu: %-10s ",
                  (unsigned long long)now, component);
     std::va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::vfprintf(dst, fmt, args);
     va_end(args);
-    std::fputc('\n', stderr);
+    std::fputc('\n', dst);
 }
 
 } // namespace minnow::trace

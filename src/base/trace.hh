@@ -54,6 +54,13 @@ bool enabled(Flag f);
  *  time, registered by Machine's constructor). */
 void setCycleSource(const Cycle *now);
 
+/**
+ * Route trace records to @p path instead of stderr (--debug-file).
+ * An empty path restores stderr; fatal() if the file cannot be
+ * opened. The previous file, if any, is closed.
+ */
+void setOutputFile(const std::string &path);
+
 /** Emit one record (already filtered by the DPRINTF macro). */
 [[gnu::format(printf, 3, 4)]]
 void print(Flag f, const char *component, const char *fmt, ...);

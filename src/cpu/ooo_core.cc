@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "sim/hostprof.hh"
+#include "sim/timeline.hh"
 
 namespace minnow::cpu
 {
@@ -94,7 +95,31 @@ OooCore::idleUntil(Cycle t)
 void
 OooCore::setPhase(Phase p)
 {
+    if (tl_ && p != phase_) {
+        // Close the outgoing phase's residency span at the current
+        // frontier; zero-length windows (phase flips with no uops in
+        // between) emit nothing.
+        static constexpr timeline::Name kPhaseName[] = {
+            timeline::Name::PhaseApp,
+            timeline::Name::PhaseWorklist,
+            timeline::Name::PhaseIdle,
+        };
+        Cycle f = frontier();
+        if (f > tlPhaseStart_) {
+            tl_->span(tlTrack_, kPhaseName[int(phase_)],
+                      tlPhaseStart_, f);
+            tlPhaseStart_ = f;
+        }
+    }
     phase_ = p;
+}
+
+void
+OooCore::bindTimeline(timeline::Timeline *tl, std::uint32_t track)
+{
+    tl_ = tl;
+    tlTrack_ = track;
+    tlPhaseStart_ = tl ? frontier() : 0;
 }
 
 void

@@ -40,6 +40,11 @@
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
 
+namespace minnow::timeline
+{
+class Timeline;
+}
+
 namespace minnow::cpu
 {
 
@@ -198,6 +203,14 @@ class OooCore
     void setPhase(Phase p);
     Phase phase() const { return phase_; }
 
+    /**
+     * Attach the machine's timeline: every phase switch then emits a
+     * residency span on @p track covering the frontier window spent
+     * in the outgoing phase (the frontier only moves forward, so it
+     * is a valid span clock). Null detaches.
+     */
+    void bindTimeline(timeline::Timeline *tl, std::uint32_t track);
+
     CoreId id() const { return id_; }
     const CoreStats &stats() const { return stats_; }
     void resetStats() { stats_ = CoreStats{}; }
@@ -247,6 +260,10 @@ class OooCore
 
     Phase phase_ = Phase::App;
     CoreStats stats_;
+
+    timeline::Timeline *tl_ = nullptr; //!< phase-span sink (or null).
+    std::uint32_t tlTrack_ = 0;
+    Cycle tlPhaseStart_ = 0; //!< frontier when phase_ was entered.
 };
 
 } // namespace minnow::cpu

@@ -35,27 +35,54 @@ workerLoop(SimContext &ctx, worklist::Worklist &wl, apps::App &app,
            WorklistSink &sink, WorkerState &state,
            WorklistRunStats &wstats)
 {
+    timeline::Timeline *tl = ctx.machine().timeline.get();
+    timeline::TrackId taskTrack = tl
+        ? tl->coreTaskTrack(ctx.id())
+        : timeline::kNoTrack;
     for (;;) {
         ctx.core().setPhase(cpu::Phase::Worklist);
         worklist::WorkItem item;
         Cycle popStart = ctx.eq().now();
         bool got = co_await wl.pop(ctx, item);
         if (got) {
-            wstats.popLatency->sample(ctx.eq().now() - popStart);
+            Cycle now = ctx.eq().now();
+            wstats.popLatency->sample(now - popStart);
             ++*wstats.pops;
+            if (tl) {
+                tl->span(taskTrack, timeline::Name::Dequeue,
+                         popStart, now);
+                tl->taskSample(timeline::TaskPhase::Dequeue,
+                               now - popStart);
+            }
         }
         if (!got) {
             ctx.core().setPhase(cpu::Phase::Idle);
+            Cycle waitStart = ctx.eq().now();
             bool more = co_await ctx.monitor().waitForWork();
             ctx.core().idleUntil(ctx.eq().now());
+            if (tl && more) {
+                Cycle now = ctx.eq().now();
+                tl->span(taskTrack, timeline::Name::PopWait,
+                         waitStart, now);
+                tl->taskSample(timeline::TaskPhase::PopWait,
+                               now - waitStart);
+            }
             if (!more)
                 break;
             continue;
         }
         state.pops += 1;
         ctx.core().setPhase(cpu::Phase::App);
+        Cycle execStart = ctx.eq().now();
         co_await app.process(ctx, item, sink);
         co_await ctx.sync();
+        if (tl) {
+            Cycle now = ctx.eq().now();
+            tl->span(taskTrack, timeline::Name::Task, execStart,
+                     now);
+            tl->taskSample(timeline::TaskPhase::Execute,
+                           now - execStart);
+        }
     }
     ctx.core().setPhase(cpu::Phase::Idle);
 }
@@ -154,6 +181,12 @@ runParallel(runtime::Machine &machine, apps::App &app,
     // worklist (attachStats replaces any previous run's group and
     // removes it again when the worklist is destroyed).
     StatsGroup &wg = wl.attachStats(machine.stats);
+    if (machine.timeline) {
+        machine.timeline->addCounterProvider(
+            timeline::Cat::Worklist, "worklist.depth", &wl,
+            [&wl] { return double(wl.size()); });
+        wl.registerTimeline(*machine.timeline);
+    }
     WorklistRunStats wstats;
     wstats.popLatency = &wg.histogram(
         "popLatency", "cycles a worker spent inside pop", 64, 32);
@@ -191,6 +224,10 @@ runParallel(runtime::Machine &machine, apps::App &app,
         pops += s.pops;
     RunResult r = collectResult(machine, app, cfg.threads, timedOut,
                                 pops);
+    // Counter providers capture the caller-owned worklist; it may
+    // not outlive this run.
+    if (machine.timeline)
+        machine.timeline->removeProviders(&wl);
     if (cfg.verify && !timedOut)
         r.verified = app.verify();
     return r;

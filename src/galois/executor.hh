@@ -95,7 +95,16 @@ class WorklistSink : public apps::TaskSink
     runtime::CoTask<void>
     put(runtime::SimContext &ctx, worklist::WorkItem item) override
     {
+        timeline::Timeline *tl = ctx.machine().timeline.get();
+        Cycle pushStart = ctx.machine().eq.now();
         co_await wl_->push(ctx, item);
+        if (tl) {
+            Cycle now = ctx.machine().eq.now();
+            tl->span(tl->coreTaskTrack(ctx.id()),
+                     timeline::Name::Push, pushStart, now);
+            tl->taskSample(timeline::TaskPhase::Push,
+                           now - pushStart);
+        }
     }
 
   private:

@@ -70,8 +70,12 @@ MemorySystem::invalidatePrivate(CoreId core, Addr lnum)
     if (line) {
         if (line->prefetch) {
             stats_[core].prefetchInvalidated += 1;
-            if (creditHook_ && !line->prefetchHw)
-                creditHook_(core, false);
+            if (!line->prefetchHw) {
+                if (pfLinesTracked_)
+                    --pfLinesTracked_;
+                if (creditHook_)
+                    creditHook_(core, false);
+            }
         }
         if (line->dirty)
             stats_[core].writebacks += 1;
@@ -92,8 +96,12 @@ MemorySystem::handleL2Eviction(CoreId core, const Eviction &ev)
     l1_[core].invalidate(ev.lineNum);
     if (ev.prefetch) {
         stats_[core].prefetchEvictedUnused += 1;
-        if (creditHook_ && !ev.prefetchHw)
-            creditHook_(core, false);
+        if (!ev.prefetchHw) {
+            if (pfLinesTracked_)
+                --pfLinesTracked_;
+            if (creditHook_)
+                creditHook_(core, false);
+        }
     }
     auto it = directory_.find(ev.lineNum);
     if (it != directory_.end()) {
@@ -203,8 +211,12 @@ MemorySystem::access(const MemAccess &req)
             l2line->prefetchHw = false;
             st.prefetchUsed += 1;
             res.hitPrefetched = true;
-            if (creditHook_ && !hw)
-                creditHook_(req.core, true);
+            if (!hw) {
+                if (pfLinesTracked_)
+                    --pfLinesTracked_;
+                if (creditHook_)
+                    creditHook_(req.core, true);
+            }
         } else if (l2line->prefetch && req.prefetch) {
             st.prefetchRedundant += 1;
         }
@@ -347,6 +359,8 @@ MemorySystem::access(const MemAccess &req)
         fill2->prefetchHw = req.hwPrefetch;
         st.prefetchFills += 1;
         res.prefetchFilled = true;
+        if (!req.hwPrefetch)
+            ++pfLinesTracked_;
     } else if (!req.engine) {
         Eviction ev1;
         CacheLine *fill1 = l1_[req.core].fill(lnum, false, ev1);
@@ -407,6 +421,7 @@ MemorySystem::flushAll()
         c.flushAll();
     directory_.clear();
     atomicBusy_.clear();
+    pfLinesTracked_ = 0;
     for (auto &pf : hwPrefetchers_) {
         if (pf)
             pf->reset();

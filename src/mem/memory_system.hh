@@ -183,6 +183,16 @@ class MemorySystem
      */
     void registerCoreStats(StatsGroup &g, CoreId i);
 
+    /**
+     * Engine-prefetched (credit-tracked) L2 lines currently resident
+     * or in flight, summed over all cores. Feeds the timeline's L2
+     * occupancy counter track; HW-prefetcher fills are excluded.
+     */
+    std::uint64_t prefetchLinesTracked() const
+    {
+        return pfLinesTracked_;
+    }
+
     /** Probe helpers for tests. */
     bool inL1(CoreId core, Addr addr) const;
     bool inL2(CoreId core, Addr addr) const;
@@ -240,6 +250,7 @@ class MemorySystem
     ValueOracle oracle_;
     std::vector<Addr> pfScratch_;
     bool inPrefetchIssue_ = false;
+    std::uint64_t pfLinesTracked_ = 0;
 };
 
 } // namespace minnow::mem

@@ -147,6 +147,24 @@ MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
     blockedWorkers_.reserve(8);
 
     registerStats();
+
+    if (auto *tl = machine_->timeline.get()) {
+        std::string tag = "engine" + std::to_string(core_);
+        tlEngine_ = tl->addTrack(timeline::Cat::Engine,
+                                 timeline::Pid::Engines, core_, tag);
+        tlCreditTrack_ = tl->addCounterTrack(
+            timeline::Cat::Credit,
+            "minnow" + std::to_string(core_) + ".credits");
+        // Seed the counter so the full budget shows before the
+        // first prefetch consumes anything.
+        tlLastCredits_ = creditsFree_;
+        tl->counter(tlCreditTrack_, machine_->eq.now(),
+                    double(creditsFree_));
+        tl->addCounterProvider(
+            timeline::Cat::Worklist,
+            "minnow" + std::to_string(core_) + ".localQ", this,
+            [this] { return double(localQ_.size()); });
+    }
 }
 
 MinnowEngine::~MinnowEngine()
@@ -154,6 +172,66 @@ MinnowEngine::~MinnowEngine()
     // Formulas registered below point into this object; drop the
     // group so a later dump cannot chase dangling pointers.
     machine_->stats.removeGroup(statsGroupName_);
+    if (machine_->timeline)
+        machine_->timeline->removeProviders(this);
+}
+
+// ---- Timeline instrumentation ----
+
+MinnowEngine::TlSpan::TlSpan(MinnowEngine *eng, timeline::Name name)
+    : eng_(eng), name_(name)
+{
+    auto *tl = eng->machine_->timeline.get();
+    if (!tl || !tl->wants(timeline::Cat::Threadlet))
+        return;
+    active_ = true;
+    begin_ = eng->machine_->eq.now();
+    lane_ = eng->tlAcquireLane();
+}
+
+MinnowEngine::TlSpan::~TlSpan()
+{
+    if (!active_)
+        return;
+    eng_->machine_->timeline->span(eng_->tlLaneTracks_[lane_], name_,
+                                   begin_,
+                                   eng_->machine_->eq.now());
+    eng_->tlReleaseLane(lane_);
+}
+
+std::uint32_t
+MinnowEngine::tlAcquireLane()
+{
+    if (!tlFreeLanes_.empty()) {
+        std::uint32_t lane = tlFreeLanes_.top();
+        tlFreeLanes_.pop();
+        return lane;
+    }
+    std::uint32_t lane = std::uint32_t(tlLaneTracks_.size());
+    // Lane tids pack per engine: engine N owns [N*1024, N*1024+...).
+    tlLaneTracks_.push_back(machine_->timeline->addTrack(
+        timeline::Cat::Threadlet, timeline::Pid::Threadlets,
+        core_ * 1024 + lane,
+        "engine" + std::to_string(core_) + ".t" +
+            std::to_string(lane)));
+    return lane;
+}
+
+void
+MinnowEngine::tlReleaseLane(std::uint32_t lane)
+{
+    tlFreeLanes_.push(lane);
+}
+
+void
+MinnowEngine::tlCredits()
+{
+    if (tlCreditTrack_ == timeline::kNoTrack ||
+        creditsFree_ == tlLastCredits_)
+        return;
+    tlLastCredits_ = creditsFree_;
+    machine_->timeline->counter(tlCreditTrack_, machine_->eq.now(),
+                                double(creditsFree_));
 }
 
 void
@@ -274,6 +352,7 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
         // traffic (spills/fills) of load-buffer entries.
         co_await PoolAcquire{&creditsFree_, &creditWaiters_,
                              &stats_.creditStalls};
+        tlCredits();
         if (machine_->memory.inL2(core_, addr)) {
             // Filled by someone while we waited; recycle the credit.
             creditReturn(false);
@@ -341,6 +420,7 @@ MinnowEngine::creditReturn(bool used)
         panic_if(creditsFree_ > params_.prefetchCredits,
                  "credit pool overflow");
     }
+    tlCredits();
 }
 
 void
@@ -561,6 +641,11 @@ MinnowEngine::injectKill()
         return;
     dead_ = true;
     stats_.faultKills += 1;
+    if (machine_->timeline) {
+        machine_->timeline->instant(tlEngine_,
+                                    timeline::Name::EngineKill,
+                                    machine_->eq.now());
+    }
     warn("minnow engine %u killed by fault injection at cycle %llu",
          core_, (unsigned long long)machine_->eq.now());
     rescueLocalTasks();
@@ -576,6 +661,11 @@ MinnowEngine::injectStall(Cycle dur)
     if (dead_)
         return;
     stats_.faultStalls += 1;
+    if (machine_->timeline) {
+        machine_->timeline->instant(tlEngine_,
+                                    timeline::Name::EngineStall,
+                                    machine_->eq.now());
+    }
     Cycle until = machine_->eq.now() + dur;
     stallUntil_ = std::max(stallUntil_, until);
     cuBusyUntil_ = std::max(cuBusyUntil_, until);
@@ -609,12 +699,22 @@ MinnowEngine::rescueLocalTasks()
         // The tasks were core-private (pending, non-stealable); in
         // the global queue any worker can take them.
         machine_->monitor.transferWork(n, true);
+        if (machine_->timeline) {
+            machine_->timeline->instant(tlEngine_,
+                                        timeline::Name::TasksRescued,
+                                        machine_->eq.now());
+        }
     }
 }
 
 void
 MinnowEngine::recoverFromStall()
 {
+    if (machine_->timeline) {
+        machine_->timeline->instant(tlEngine_,
+                                    timeline::Name::EngineRecover,
+                                    machine_->eq.now());
+    }
     // Flush whatever arrived while frozen (a fill that completed
     // right at the window edge) so software-parked workers get
     // their wakeup, then resume normal service.
@@ -698,6 +798,7 @@ MinnowEngine::enqueueArrival(WorkItem item, Cycle when)
 CoTask<void>
 MinnowEngine::spillDrainThreadlet()
 {
+    TlSpan tlspan(this, timeline::Name::SpillDrain);
     ThreadletCtx tc(this, machine_->eq.now());
     std::vector<WorkItem> batch;
     while (!spillBuf_.empty()) {
@@ -851,6 +952,7 @@ MinnowEngine::flush(SimContext &ctx)
 CoTask<void>
 MinnowEngine::spillThreadlet(WorkItem item)
 {
+    TlSpan tlspan(this, timeline::Name::Spill);
     ThreadletCtx tc(this, machine_->eq.now());
     tc.exec(4);
     co_await global_->spill(tc, item);
@@ -861,6 +963,7 @@ MinnowEngine::spillThreadlet(WorkItem item)
 CoTask<void>
 MinnowEngine::fillDaemon()
 {
+    TlSpan tlspan(this, timeline::Name::FillDaemon);
     ThreadletCtx tc(this, machine_->eq.now());
     runtime::WorkMonitor &mon = machine_->monitor;
 
@@ -915,6 +1018,7 @@ MinnowEngine::fillDaemon()
         }
         if (localLow && priorityOk && global_->size() > 0 &&
             space > 0) {
+            Cycle fbStart = machine_->eq.now();
             tc.exec(4);
             batch.clear();
             std::uint32_t burst =
@@ -943,6 +1047,11 @@ MinnowEngine::fillDaemon()
                 for (const WorkItem &item : batch)
                     insertLocal(item);
                 deliverToBlocked();
+                if (machine_->timeline) {
+                    machine_->timeline->span(
+                        tlEngine_, timeline::Name::FillBatch,
+                        fbStart, machine_->eq.now());
+                }
             }
             continue;
         }
@@ -1000,6 +1109,7 @@ MinnowEngine::fillDaemon()
 CoTask<void>
 MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
 {
+    TlSpan tlspan(this, timeline::Name::PrefetchTask);
     ThreadletCtx tc(this, machine_->eq.now());
     const graph::CsrGraph &g = *program_.graph;
     NodeId v = NodeId(item.payload & 0xffffffffu);
@@ -1140,6 +1250,7 @@ MinnowEngine::prefetchEdgeThreadlet(EdgeId e, EdgeId endEdge,
                                     SpawnGate *gate,
                                     bool usedReserved)
 {
+    TlSpan tlspan(this, timeline::Name::PrefetchEdge);
     ThreadletCtx tc(this, machine_->eq.now());
     const graph::CsrGraph &g = *program_.graph;
 

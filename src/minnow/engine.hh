@@ -34,6 +34,7 @@
 #include <deque>
 #include <limits>
 #include <optional>
+#include <queue>
 #include <vector>
 
 #include "base/ring_queue.hh"
@@ -388,6 +389,18 @@ class MinnowEngine
     std::deque<WorkItem> spillBuf_;
     bool spillDrainActive_ = false;
 
+    // Timeline track state. Declared before threadlets_/faultTasks_
+    // on purpose: destroying a suspended threadlet coroutine runs its
+    // TlSpan destructor, which touches the lane bookkeeping below —
+    // so these members must outlive the coroutine containers.
+    timeline::TrackId tlEngine_ = timeline::kNoTrack;
+    timeline::TrackId tlCreditTrack_ = timeline::kNoTrack;
+    std::uint32_t tlLastCredits_ = 0; //!< last emitted credit value.
+    std::vector<timeline::TrackId> tlLaneTracks_;
+    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                        std::greater<>>
+        tlFreeLanes_;
+
     std::vector<runtime::CoTask<void>> threadlets_;
     EngineStats stats_;
 
@@ -404,6 +417,38 @@ class MinnowEngine
     HistogramStat *dequeueLatencyHist_ = nullptr;
     HistogramStat *threadletOccupancyHist_ = nullptr;
     std::string statsGroupName_;
+
+    // ---- Timeline instrumentation (sim/timeline.hh) ----
+
+    /**
+     * RAII threadlet-lifetime span: the constructor grabs the lowest
+     * free display lane, the destructor emits [spawn, retire] on that
+     * lane's track. Placed at the top of a threadlet coroutine body
+     * it covers the whole lifetime (coroutine locals are destroyed
+     * at co_return). No-op when tracing is off.
+     */
+    class TlSpan
+    {
+      public:
+        TlSpan(MinnowEngine *eng, timeline::Name name);
+        ~TlSpan();
+        TlSpan(const TlSpan &) = delete;
+        TlSpan &operator=(const TlSpan &) = delete;
+
+      private:
+        MinnowEngine *eng_;
+        timeline::Name name_;
+        Cycle begin_ = 0;
+        std::uint32_t lane_ = 0;
+        bool active_ = false;
+    };
+
+    /** Lowest free threadlet lane (registers its track on demand). */
+    std::uint32_t tlAcquireLane();
+    void tlReleaseLane(std::uint32_t lane);
+
+    /** Sample the credit counter track after a change. */
+    void tlCredits();
 };
 
 } // namespace minnow::minnowengine

@@ -64,11 +64,20 @@ MinnowSystem::MinnowSystem(Machine *machine,
     wg.formula("softwarePops",
                "degraded-mode pops by workers of faulted engines",
                [this] { return double(global_.softwarePops()); });
+    if (machine->timeline) {
+        machine->timeline->addCounterProvider(
+            timeline::Cat::Worklist, "worklist.globalDepth", this,
+            [this] { return double(global_.size()); });
+    }
 }
 
 MinnowSystem::~MinnowSystem()
 {
     machine_->stats.removeGroup("worklist");
+    // Providers capture this (stack-local) system; the timeline
+    // outlives it.
+    if (machine_->timeline)
+        machine_->timeline->removeProviders(this);
 }
 
 void
@@ -164,16 +173,36 @@ CoTask<void>
 minnowWorker(SimContext &ctx, MinnowEngine &eng, apps::App &app,
              EngineSink &sink, WorkerState &state)
 {
+    timeline::Timeline *tl = ctx.machine().timeline.get();
+    timeline::TrackId taskTrack = tl
+        ? tl->coreTaskTrack(ctx.id())
+        : timeline::kNoTrack;
     for (;;) {
         ctx.core().setPhase(cpu::Phase::Worklist);
+        Cycle dqStart = ctx.machine().eq.now();
         std::optional<worklist::WorkItem> item =
             co_await eng.dequeue(ctx);
         if (!item)
             break;
+        if (tl) {
+            Cycle now = ctx.machine().eq.now();
+            tl->span(taskTrack, timeline::Name::Dequeue, dqStart,
+                     now);
+            tl->taskSample(timeline::TaskPhase::Dequeue,
+                           now - dqStart);
+        }
         state.pops += 1;
         ctx.core().setPhase(cpu::Phase::App);
+        Cycle execStart = ctx.machine().eq.now();
         co_await app.process(ctx, *item, sink);
         co_await ctx.sync();
+        if (tl) {
+            Cycle now = ctx.machine().eq.now();
+            tl->span(taskTrack, timeline::Name::Task, execStart,
+                     now);
+            tl->taskSample(timeline::TaskPhase::Execute,
+                           now - execStart);
+        }
     }
     ctx.core().setPhase(cpu::Phase::Idle);
 }

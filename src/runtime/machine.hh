@@ -25,6 +25,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/hostprof.hh"
+#include "sim/timeline.hh"
 #include "sim/watchdog.hh"
 
 namespace minnow::runtime
@@ -42,18 +43,56 @@ class Machine
     {
         cfg.validate();
         trace::setCycleSource(&eq.nowRef());
+        if (!cfg.timelinePath.empty()) {
+            timeline = std::make_unique<::minnow::timeline::Timeline>(
+                cfg.timelineBufferCap,
+                ::minnow::timeline::parseTracks(cfg.timelineTracks));
+            timeline->bindClock(&eq.nowRef());
+            timeline->registerCoreTracks(cfg.numCores);
+        }
         cores.reserve(cfg.numCores);
         for (CoreId i = 0; i < cfg.numCores; ++i) {
             cores.emplace_back(std::make_unique<cpu::OooCore>(
                 i, cfg.core, &memory, seed));
         }
         registerStats();
+        if (timeline) {
+            timeline->registerStats(stats);
+            for (CoreId i = 0; i < cfg.numCores; ++i) {
+                cores[i]->bindTimeline(
+                    timeline.get(), timeline->corePhaseTrack(i));
+            }
+            using ::minnow::timeline::Cat;
+            // Windowed MPKI: misses-per-kilo-uop over each sampling
+            // interval (the Fig. 18-20 dynamics), not the cumulative
+            // average the stats groups report.
+            timeline->addCounterProvider(
+                Cat::Mem, "mem.l2MpkiWindow", this,
+                [this, lastMiss = 0.0, lastUops = 0.0]() mutable {
+                    double miss =
+                        double(memory.totals().l2DemandMisses);
+                    double uops = double(totalUops());
+                    double dk = (uops - lastUops) / 1000.0;
+                    double mpki =
+                        dk > 0 ? (miss - lastMiss) / dk : 0.0;
+                    lastMiss = miss;
+                    lastUops = uops;
+                    return mpki;
+                });
+            timeline->addCounterProvider(
+                Cat::Mem, "mem.prefetchLinesTracked", this, [this] {
+                    return double(memory.prefetchLinesTracked());
+                });
+            if (cfg.timelineInterval)
+                timeline->startSampling(eq, cfg.timelineInterval);
+        }
         if (cfg.statsSampleInterval)
             stats.startSampling(eq, cfg.statsSampleInterval);
         if (!cfg.faultSpec.empty()) {
             faults = std::make_unique<FaultInjector>(cfg.faultSpec,
                                                      cfg.faultSeed);
             faults->bindClock(&eq.nowRef());
+            faults->bindTimeline(timeline.get());
             faults->registerStats(stats);
             memory.setFaultInjector(faults.get());
         }
@@ -75,7 +114,14 @@ class Machine
         panicHookId_ = addPanicHook(&Machine::panicHook, this);
     }
 
-    ~Machine() { removePanicHook(panicHookId_); }
+    ~Machine()
+    {
+        removePanicHook(panicHookId_);
+        if (timeline && !timeline->writeFile(cfg.timelinePath)) {
+            warn("cannot write --timeline file %s",
+                 cfg.timelinePath.c_str());
+        }
+    }
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -104,6 +150,15 @@ class Machine
     EventQueue eq;
     SimAlloc alloc;
     mem::MemorySystem memory;
+
+    /**
+     * Simulated-time trace sink; null when --timeline is unset (emit
+     * sites guard on this pointer and pay nothing else). Declared
+     * before the stats registry: the "timeline" group's formulas
+     * capture this object, so it must be destroyed after them.
+     */
+    std::unique_ptr<::minnow::timeline::Timeline> timeline;
+
     std::vector<std::unique_ptr<cpu::OooCore>> cores;
     WorkMonitor monitor;
 

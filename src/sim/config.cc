@@ -34,6 +34,8 @@ MachineConfig::validate() const
              "prefetching requires at least one credit");
     fatal_if(watchdogInterval != 0 && watchdogChecks == 0,
              "watchdog needs at least one stale check to trip");
+    fatal_if(!timelinePath.empty() && timelineBufferCap == 0,
+             "--timeline needs a nonzero --timeline-buffer");
 }
 
 void
@@ -58,6 +60,14 @@ MachineConfig::applyOptions(const Options &opts)
     statsSampleInterval = std::uint32_t(
         opts.getUint("stats-interval", statsSampleInterval));
     hostProfile = opts.getBool("host-profile", hostProfile);
+
+    // Simulated-time timeline tracing (sim/timeline.hh).
+    timelinePath = opts.getString("timeline", timelinePath);
+    timelineBufferCap = std::uint32_t(
+        opts.getUint("timeline-buffer", timelineBufferCap));
+    timelineTracks = opts.getString("timeline-tracks", timelineTracks);
+    timelineInterval = std::uint32_t(
+        opts.getUint("timeline-interval", timelineInterval));
 
     // Robustness knobs: fault injection and the hang watchdog. The
     // injector reuses the benches' --seed so a fault run replays

@@ -212,6 +212,26 @@ struct MachineConfig
      */
     bool hostProfile = false;
 
+    /**
+     * Simulated-time timeline trace (--timeline=FILE; see
+     * sim/timeline.hh). Empty disables tracing entirely — no sink is
+     * constructed and emit sites cost one null-check.
+     */
+    std::string timelinePath;
+
+    /** Ring capacity in records (--timeline-buffer=N). */
+    std::uint32_t timelineBufferCap = 1u << 18;
+
+    /**
+     * Category selection (--timeline-tracks=task,engine,credit,...);
+     * empty or "all" records everything.
+     */
+    std::string timelineTracks;
+
+    /** Counter-provider sampling period (--timeline-interval=N;
+     *  0 disables the sampled counter tracks). */
+    std::uint32_t timelineInterval = 1024;
+
     std::uint64_t totalL3Bytes() const
     {
         return std::uint64_t(numCores) * l3Bank.sizeBytes;

@@ -91,6 +91,27 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return size_; }
 
+    /**
+     * Daemon accounting for periodic housekeeping events (the stats
+     * and timeline samplers, the watchdog). A daemon re-arms itself
+     * only while real work remains — but "real work" must exclude
+     * the other daemons, or any two of them keep each other alive
+     * and run() never drains. Protocol: call daemonScheduled() when
+     * scheduling the event, daemonFired() first thing in its
+     * handler, and re-arm only while quiescent() is false.
+     */
+    void daemonScheduled() { ++daemons_; }
+
+    void
+    daemonFired()
+    {
+        panic_if(daemons_ == 0, "daemonFired with no daemon pending");
+        --daemons_;
+    }
+
+    /** True when only daemon (housekeeping) events remain pending. */
+    bool quiescent() const { return size_ <= daemons_; }
+
     /** Cycle of the earliest pending event (now() when empty). */
     Cycle headTime() const;
 
@@ -142,6 +163,7 @@ class EventQueue
         panic_if(running_, "resetting the event queue from inside"
                  " run()");
         now_ = 0;
+        daemons_ = 0;
         farSeq_ = 0;
         cursor_ = 0;
         stopped_ = false;
@@ -215,6 +237,7 @@ class EventQueue
 
     Cycle now_ = 0;
     std::size_t size_ = 0;   //!< total pending events (wheel + far)
+    std::size_t daemons_ = 0; //!< pending daemon events (<= size_)
     std::size_t cursor_ = 0; //!< drain position in the now_ bucket
     std::uint64_t farSeq_ = 0;
     bool stopped_ = false;

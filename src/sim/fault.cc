@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "base/logging.hh"
+#include "sim/timeline.hh"
 
 namespace minnow
 {
@@ -235,6 +236,10 @@ FaultInjector::dropPrefetch(CoreId core)
             continue;
         if (rng_.chance(c.p)) {
             stats_.prefetchDrops += 1;
+            if (tl_)
+                tl_->instant(tl_->simTrack(),
+                             timeline::Name::FaultPrefetchDrop,
+                             now());
             return true;
         }
     }
@@ -249,6 +254,9 @@ FaultInjector::swallowCreditReturn(CoreId core)
             !targets(c, core) || !inWindow(c))
             continue;
         stats_.creditsSwallowed += 1;
+        if (tl_)
+            tl_->instant(tl_->simTrack(),
+                         timeline::Name::FaultCreditSwallow, now());
         return true;
     }
     return false;

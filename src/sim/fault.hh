@@ -54,6 +54,11 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 
+namespace minnow::timeline
+{
+class Timeline;
+} // namespace minnow::timeline
+
 namespace minnow
 {
 
@@ -115,6 +120,13 @@ class FaultInjector
     /** Bind the simulated clock (EventQueue::nowRef) for windows. */
     void bindClock(const Cycle *now) { now_ = now; }
 
+    /**
+     * Attach the machine's timeline (nullptr detaches): every fired
+     * drop_prefetch / credit_starve decision emits an instant event
+     * on the simulator track.
+     */
+    void bindTimeline(timeline::Timeline *tl) { tl_ = tl; }
+
     const std::vector<FaultClause> &clauses() const
     {
         return clauses_;
@@ -150,6 +162,7 @@ class FaultInjector
     std::vector<FaultClause> clauses_;
     Rng rng_;
     const Cycle *now_ = nullptr;
+    timeline::Timeline *tl_ = nullptr;
     FaultStats stats_;
 };
 

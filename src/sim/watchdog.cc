@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "cpu/ooo_core.hh"
 #include "runtime/machine.hh"
+#include "sim/timeline.hh"
 
 namespace minnow
 {
@@ -95,6 +96,9 @@ void
 dumpDiagnostic(runtime::Machine &machine, const std::string &reason)
 {
     runtime::Machine &m = machine;
+    if (m.timeline)
+        m.timeline->instant(m.timeline->simTrack(),
+                            timeline::Name::Diagnostic, m.eq.now());
     std::fprintf(stderr, "=== minnow diagnostic: %s ===\n",
                  reason.c_str());
     std::fprintf(stderr,
@@ -151,6 +155,7 @@ Watchdog::arm()
         return;
     armed_ = true;
     last_ = sample();
+    machine_->eq.daemonScheduled();
     machine_->eq.schedule(machine_->eq.now() + interval_,
                           &Watchdog::checkEvent, this);
 }
@@ -158,7 +163,9 @@ Watchdog::arm()
 void
 Watchdog::checkEvent(void *arg)
 {
-    static_cast<Watchdog *>(arg)->check();
+    auto *wd = static_cast<Watchdog *>(arg);
+    wd->machine_->eq.daemonFired();
+    wd->check();
 }
 
 Watchdog::Snapshot
@@ -201,6 +208,10 @@ Watchdog::check()
                           (unsigned long long)cur.stealable,
                           (unsigned long long)cur.memTraffic);
             std::string reason(buf);
+            if (m.timeline)
+                m.timeline->instant(m.timeline->simTrack(),
+                                    timeline::Name::WatchdogTrip,
+                                    m.eq.now());
             if (onStall_) {
                 onStall_(reason);
                 return;
@@ -212,11 +223,15 @@ Watchdog::check()
         stale_ = 0;
         last_ = cur;
     }
-    // Re-arm only while the simulation is alive, like the stats
-    // sampler: the watchdog must not keep a drained queue running.
-    if (!m.eq.empty())
+    // Re-arm only while non-daemon work remains, like the samplers:
+    // the watchdog must not keep a drained queue running, and
+    // against empty() alone it and a periodic sampler would keep
+    // each other alive forever.
+    if (!m.eq.quiescent()) {
+        m.eq.daemonScheduled();
         m.eq.schedule(m.eq.now() + interval_, &Watchdog::checkEvent,
                       this);
+    }
 }
 
 } // namespace minnow

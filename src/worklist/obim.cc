@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "sim/hostprof.hh"
+#include "sim/timeline.hh"
 
 namespace minnow::worklist
 {
@@ -45,6 +46,18 @@ ObimWorklist::size() const
             n += w.popChunk->remaining();
     }
     return n;
+}
+
+void
+ObimWorklist::registerTimeline(timeline::Timeline &tl)
+{
+    // The shared minimum-bucket hint: the line whose ping-pong is
+    // OBIM's scaling problem. -1 renders the "no bucket" sentinel.
+    tl.addCounterProvider(
+        timeline::Cat::Worklist, "worklist.obimMinBucket", this,
+        [this] {
+            return minHint_ == kNoBucket ? -1.0 : double(minHint_);
+        });
 }
 
 ObimWorklist::GlobalBucket &

@@ -61,6 +61,9 @@ class ObimWorklist : public Worklist
 
     std::uint32_t lgBucketInterval() const { return lg_; }
 
+    /** Adds the live minimum-bucket hint as a counter track. */
+    void registerTimeline(timeline::Timeline &tl) override;
+
   private:
     static constexpr std::int64_t kNoBucket =
         std::numeric_limits<std::int64_t>::max();

@@ -23,6 +23,11 @@
 #include "runtime/sim_context.hh"
 #include "runtime/task.hh"
 
+namespace minnow::timeline
+{
+class Timeline;
+} // namespace minnow::timeline
+
 namespace minnow::worklist
 {
 
@@ -91,6 +96,14 @@ class Worklist
 
     /** Scheduler name for reports ("obim", "cfifo", ...). */
     virtual std::string name() const = 0;
+
+    /**
+     * Register implementation-specific counter tracks with a run's
+     * timeline, owner-tagged `this`. The executor removes every
+     * provider owned by this worklist when the run ends, so
+     * overrides need no matching teardown.
+     */
+    virtual void registerTimeline(timeline::Timeline &) {}
 
   private:
     StatsRegistry *statsReg_ = nullptr;

@@ -241,6 +241,78 @@ TEST(EventQueue, StopMidBucketPreservesRemainingSameCycleEvents)
 }
 
 /**
+ * Self-rearming periodic daemon (the stats/timeline samplers and the
+ * watchdog in miniature), following the documented protocol:
+ * daemonScheduled() on arm, daemonFired() first thing in the
+ * handler, re-arm only while quiescent() is false.
+ */
+struct PeriodicDaemon
+{
+    EventQueue *eq;
+    Cycle interval;
+    std::uint64_t fires = 0;
+
+    void
+    arm()
+    {
+        eq->daemonScheduled();
+        eq->schedule(eq->now() + interval, &PeriodicDaemon::fire,
+                     this);
+    }
+
+    static void
+    fire(void *p)
+    {
+        auto *d = static_cast<PeriodicDaemon *>(p);
+        d->eq->daemonFired();
+        d->fires += 1;
+        if (!d->eq->quiescent())
+            d->arm();
+    }
+};
+
+TEST(EventQueue, MutuallyRearmingDaemonsDoNotKeepQueueAlive)
+{
+    // Two periodic daemons plus a finite chain of real events:
+    // run() must drain once the real work is gone. With a plain
+    // !empty() re-arm test the daemons would keep each other alive
+    // forever (the --stats-interval + --timeline hang).
+    EventQueue eq;
+    PeriodicDaemon a{&eq, 10};
+    PeriodicDaemon b{&eq, 15};
+    a.arm();
+    b.arm();
+    EXPECT_TRUE(eq.quiescent());
+
+    struct Chain
+    {
+        EventQueue *eq;
+        int left;
+
+        static void
+        step(void *p)
+        {
+            auto *c = static_cast<Chain *>(p);
+            if (--c->left > 0)
+                c->eq->schedule(c->eq->now() + 40, &Chain::step, c);
+        }
+    } chain{&eq, 5};
+    eq.schedule(40, &Chain::step, &chain);
+    EXPECT_FALSE(eq.quiescent());
+
+    std::uint64_t executed = eq.run();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.stopped());
+    // Real work ended at cycle 200; the daemons must have stopped
+    // within one interval of that instead of running forever.
+    EXPECT_LE(eq.now(), 215u);
+    EXPECT_GE(a.fires, 1u);
+    EXPECT_LE(a.fires, 25u);
+    EXPECT_LE(b.fires, 18u);
+    EXPECT_LT(executed, 60u);
+}
+
+/**
  * Property test: the wheel's execution order must equal a reference
  * binary heap ordered by (when, seq) — the pre-wheel implementation
  * — on a deterministic pseudo-random schedule whose offsets straddle
