@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the full static-analysis pass:
+#
+#   1. minnow-lint (tools/lint) over src/ — the project-specific
+#      determinism / lifetime / instrumentation rules. Always runs;
+#      needs only python3.
+#   2. clang-tidy (.clang-tidy config) over src/ — generic C++ bug
+#      classes. Runs only when a clang-tidy binary AND a compilation
+#      database are present; skipped (with a notice) otherwise, so
+#      the script works on minimal containers.
+#
+# Usage: scripts/run_lint.sh [build-dir]
+#   build-dir: where compile_commands.json lives (default: build).
+#
+# Exit status: non-zero if either stage reports findings.
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+status=0
+
+echo "== minnow-lint: src/ =="
+if command -v python3 >/dev/null 2>&1; then
+    python3 "$ROOT/tools/lint/minnow-lint.py" --root "$ROOT" src \
+        || status=1
+else
+    echo "error: python3 not found; minnow-lint cannot run" >&2
+    status=1
+fi
+
+echo "== clang-tidy =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping (minnow-lint still ran)"
+elif [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "no $BUILD_DIR/compile_commands.json; configure first" \
+         "(the presets export it: cmake --preset default)"
+else
+    # Lint the library sources; headers come along via
+    # HeaderFilterRegex in .clang-tidy.
+    find "$ROOT/src" -name '*.cc' -print0 |
+        xargs -0 clang-tidy -p "$BUILD_DIR" --quiet || status=1
+fi
+
+exit $status

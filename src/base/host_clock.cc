@@ -1,0 +1,20 @@
+#include "base/host_clock.hh"
+
+#include <chrono>
+
+namespace minnow
+{
+
+std::uint64_t
+hostNowNs()
+{
+    // LINT allowlist: the single sanctioned wall-clock read (see
+    // host_clock.hh). The allowlist entry in tools/lint names this
+    // file and this symbol.
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace minnow

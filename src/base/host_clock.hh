@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The one sanctioned host-time source in the simulator.
+ *
+ * Simulated time comes from the EventQueue; host wall-clock time is
+ * nondeterministic by nature and is banned from simulator code by
+ * the `determinism` lint rule (tools/lint). The --host-profile
+ * self-profiler measures how fast the *simulator* runs on the host,
+ * so it legitimately needs a wall clock — and only it. Every such
+ * read goes through hostNowNs() so the lint allowlist covers exactly
+ * one symbol in one file (host_clock.cc), not a per-call-site
+ * scatter of exemptions.
+ *
+ * Host time must never influence simulated behavior: no event
+ * scheduling, no scheduler decisions, no seeds. Readers of this
+ * clock may only feed host-side observability (hostprof stats).
+ */
+
+#ifndef MINNOW_BASE_HOST_CLOCK_HH
+#define MINNOW_BASE_HOST_CLOCK_HH
+
+#include <cstdint>
+
+namespace minnow
+{
+
+/** Monotonic host time in nanoseconds (epoch unspecified). */
+std::uint64_t hostNowNs();
+
+} // namespace minnow
+
+#endif // MINNOW_BASE_HOST_CLOCK_HH

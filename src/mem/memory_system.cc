@@ -568,6 +568,7 @@ MemorySystem::registerCoreStats(StatsGroup &g, CoreId i)
 void
 MemorySystem::registerStats(StatsRegistry &reg)
 {
+    statsReg_ = &reg;
     StatsGroup &g = reg.group("mem");
     // Totals are recomputed per formula evaluation; that is O(cores)
     // work paid only at dump/sample time.

@@ -130,6 +130,14 @@ class MemorySystem
   public:
     explicit MemorySystem(const MachineConfig &cfg);
 
+    ~MemorySystem()
+    {
+        // The "mem" formulas capture `this`; drop them before the
+        // hierarchy dies (the registry may outlive us).
+        if (statsReg_)
+            statsReg_->removeGroup("mem");
+    }
+
     MemorySystem(const MemorySystem &) = delete;
     MemorySystem &operator=(const MemorySystem &) = delete;
 
@@ -251,6 +259,8 @@ class MemorySystem
     std::vector<Addr> pfScratch_;
     bool inPrefetchIssue_ = false;
     std::uint64_t pfLinesTracked_ = 0;
+    /** Registry holding our "mem" group (for dtor removal). */
+    StatsRegistry *statsReg_ = nullptr;
 };
 
 } // namespace minnow::mem

@@ -389,10 +389,12 @@ class MinnowEngine
     std::deque<WorkItem> spillBuf_;
     bool spillDrainActive_ = false;
 
-    // Timeline track state. Declared before threadlets_/faultTasks_
-    // on purpose: destroying a suspended threadlet coroutine runs its
-    // TlSpan destructor, which touches the lane bookkeeping below —
-    // so these members must outlive the coroutine containers.
+    // Timeline track and stat bookkeeping. Declared before
+    // threadlets_/faultTasks_ on purpose (enforced by the
+    // coroutine-order lint rule): destroying a suspended threadlet
+    // coroutine runs its TlSpan destructor, which touches the lane
+    // bookkeeping and histograms below — so these members must
+    // outlive the coroutine containers.
     timeline::TrackId tlEngine_ = timeline::kNoTrack;
     timeline::TrackId tlCreditTrack_ = timeline::kNoTrack;
     std::uint32_t tlLastCredits_ = 0; //!< last emitted credit value.
@@ -400,6 +402,11 @@ class MinnowEngine
     std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
                         std::greater<>>
         tlFreeLanes_;
+
+    // Registry-owned distribution stats (point into the group).
+    HistogramStat *dequeueLatencyHist_ = nullptr;
+    HistogramStat *threadletOccupancyHist_ = nullptr;
+    std::string statsGroupName_;
 
     std::vector<runtime::CoTask<void>> threadlets_;
     EngineStats stats_;
@@ -412,11 +419,6 @@ class MinnowEngine
 
     /** Register counters/formulas/histograms as "minnow<core>". */
     void registerStats();
-
-    // Registry-owned distribution stats (point into the group).
-    HistogramStat *dequeueLatencyHist_ = nullptr;
-    HistogramStat *threadletOccupancyHist_ = nullptr;
-    std::string statsGroupName_;
 
     // ---- Timeline instrumentation (sim/timeline.hh) ----
 

@@ -149,25 +149,30 @@ class Machine
     MachineConfig cfg;
     EventQueue eq;
     SimAlloc alloc;
+
+    /**
+     * The machine's stats tree. Groups follow the naming scheme in
+     * DESIGN.md: "sim", "core<N>", "l2_<N>", "mem", and — added by
+     * their owners — "minnow<N>" and "worklist". Declared before
+     * every component that registers a group (memory, timeline,
+     * cores, faults, hostprof): registrants remove their groups in
+     * their destructors, so the registry must still be alive when
+     * they die — i.e. be destroyed last among them.
+     */
+    StatsRegistry stats;
+
     mem::MemorySystem memory;
 
     /**
      * Simulated-time trace sink; null when --timeline is unset (emit
-     * sites guard on this pointer and pay nothing else). Declared
-     * before the stats registry: the "timeline" group's formulas
-     * capture this object, so it must be destroyed after them.
+     * sites guard on this pointer and pay nothing else). Its
+     * destructor removes the "timeline" group, whose formulas
+     * capture it.
      */
     std::unique_ptr<::minnow::timeline::Timeline> timeline;
 
     std::vector<std::unique_ptr<cpu::OooCore>> cores;
     WorkMonitor monitor;
-
-    /**
-     * The machine's stats tree. Groups follow the naming scheme in
-     * DESIGN.md: "sim", "core<N>", "l2_<N>", "mem", and — added by
-     * their owners — "minnow<N>" and "worklist".
-     */
-    StatsRegistry stats;
 
     /** Deterministic fault injection; null when --faults is unset. */
     std::unique_ptr<FaultInjector> faults;

@@ -265,6 +265,7 @@ FaultInjector::swallowCreditReturn(CoreId core)
 void
 FaultInjector::registerStats(StatsRegistry &reg)
 {
+    statsReg_ = &reg;
     StatsGroup &g = reg.freshGroup("faults");
     g.formula("clauses", "parsed fault clauses in the spec",
               [this] { return double(clauses_.size()); });

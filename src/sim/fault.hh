@@ -117,6 +117,14 @@ class FaultInjector
     /** Parse spec (fatal() on malformed input) and seed the stream. */
     FaultInjector(const std::string &spec, std::uint64_t seed);
 
+    ~FaultInjector()
+    {
+        // The "faults" formulas capture `this`; drop them before the
+        // injector dies (the registry may outlive us).
+        if (statsReg_)
+            statsReg_->removeGroup("faults");
+    }
+
     /** Bind the simulated clock (EventQueue::nowRef) for windows. */
     void bindClock(const Cycle *now) { now_ = now; }
 
@@ -164,6 +172,8 @@ class FaultInjector
     const Cycle *now_ = nullptr;
     timeline::Timeline *tl_ = nullptr;
     FaultStats stats_;
+    /** Registry holding our "faults" group (for dtor removal). */
+    StatsRegistry *statsReg_ = nullptr;
 };
 
 } // namespace minnow

@@ -1,7 +1,6 @@
 #include "sim/hostprof.hh"
 
-#include <chrono>
-
+#include "base/host_clock.hh"
 #include "base/logging.hh"
 
 namespace minnow
@@ -12,10 +11,7 @@ HostProfiler *HostProfiler::active_ = nullptr;
 std::uint64_t
 HostProfiler::nowNs()
 {
-    return std::uint64_t(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    return hostNowNs();
 }
 
 void
@@ -88,6 +84,7 @@ HostProfiler::exit()
 void
 HostProfiler::registerStats(StatsRegistry &reg)
 {
+    statsReg_ = &reg;
     StatsGroup &g = reg.group("hostprof");
     g.formula("events", "events executed by the event queue",
               [this] { return double(events_); });

@@ -56,7 +56,14 @@ class HostProfiler
 {
   public:
     HostProfiler() = default;
-    ~HostProfiler() { deactivate(); }
+    ~HostProfiler()
+    {
+        deactivate();
+        // The "hostprof" formulas capture `this`; drop them before
+        // the profiler dies (the registry may outlive us).
+        if (statsReg_)
+            statsReg_->removeGroup("hostprof");
+    }
     HostProfiler(const HostProfiler &) = delete;
     HostProfiler &operator=(const HostProfiler &) = delete;
 
@@ -130,6 +137,9 @@ class HostProfiler
     std::uint64_t sliceStart_ = 0;
 
     StatHistogram occupancy_;
+
+    /** Registry holding our "hostprof" group (for dtor removal). */
+    StatsRegistry *statsReg_ = nullptr;
 };
 
 /**

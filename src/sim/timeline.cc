@@ -336,6 +336,7 @@ Timeline::pollProviders(Cycle at)
 void
 Timeline::registerStats(StatsRegistry &reg)
 {
+    statsReg_ = &reg;
     StatsGroup &g = reg.freshGroup("timeline");
     g.formula("events", "total records emitted",
               [this] { return double(written_); });

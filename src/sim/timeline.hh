@@ -149,6 +149,14 @@ class Timeline
     Timeline(const Timeline &) = delete;
     Timeline &operator=(const Timeline &) = delete;
 
+    ~Timeline()
+    {
+        // The "timeline" formulas capture `this`; drop them before
+        // the timeline dies (the registry may outlive us).
+        if (statsReg_)
+            statsReg_->removeGroup("timeline");
+    }
+
     /** Clock used to stamp counter samples (the EventQueue's now). */
     void bindClock(const Cycle *now) { now_ = now; }
 
@@ -324,6 +332,9 @@ class Timeline
     // Attribution histograms (registry-owned; null until
     // registerStats()).
     HistogramStat *taskHist_[std::size_t(TaskPhase::kNum)] = {};
+
+    /** Registry holding our "timeline" group (for dtor removal). */
+    StatsRegistry *statsReg_ = nullptr;
 };
 
 } // namespace minnow::timeline

@@ -1,0 +1,39 @@
+// Seeded violations for the `coroutine-order` rule: bookkeeping
+// members declared after an owning coroutine container.
+
+#ifndef FIXTURE_COROUTINE_ORDER_BAD_HH
+#define FIXTURE_COROUTINE_ORDER_BAD_HH
+
+#include <vector>
+
+namespace fixture
+{
+
+template <typename T>
+struct CoTask
+{
+};
+
+struct HistogramStat
+{
+};
+
+namespace timeline
+{
+using TrackId = unsigned;
+}
+
+class Engine
+{
+  public:
+    void run();
+
+  private:
+    std::vector<CoTask<void>> threadlets_;
+    timeline::TrackId laneTrack_ = 0;    // finding: after container
+    HistogramStat *latencyHist_ = nullptr; // finding: after container
+};
+
+} // namespace fixture
+
+#endif

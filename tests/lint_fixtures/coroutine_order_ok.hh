@@ -1,0 +1,46 @@
+// Conforming twin of coroutine_order_bad.hh: zero findings.
+
+#ifndef FIXTURE_COROUTINE_ORDER_OK_HH
+#define FIXTURE_COROUTINE_ORDER_OK_HH
+
+#include <coroutine>
+#include <vector>
+
+namespace fixture
+{
+
+template <typename T>
+struct CoTask
+{
+};
+
+struct HistogramStat
+{
+};
+
+namespace timeline
+{
+using TrackId = unsigned;
+}
+
+class Engine
+{
+  public:
+    void run();
+
+  private:
+    // Bookkeeping first: it must outlive the suspended coroutines,
+    // whose RAII locals touch it on destruction.
+    timeline::TrackId laneTrack_ = 0;
+    HistogramStat *latencyHist_ = nullptr;
+
+    std::vector<CoTask<void>> threadlets_;
+
+    // Non-owning handle containers after the CoTask container are
+    // fine: destroying a handle destroys no coroutine.
+    std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace fixture
+
+#endif

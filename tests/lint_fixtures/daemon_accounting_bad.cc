@@ -1,0 +1,49 @@
+// Seeded violations for the `daemon-accounting` rule: a periodic
+// self-rearming event using none of the daemon protocol and an
+// empty() guard (the mutual-keepalive hang).
+
+namespace fixture
+{
+
+class EventQueue
+{
+  public:
+    unsigned long long now() const;
+    bool empty() const;
+    void schedule(unsigned long long when, void (*fn)(void *),
+                  void *arg);
+};
+
+class BadSampler
+{
+  public:
+    void start();
+
+  private:
+    static void sampleEvent(void *arg);
+
+    EventQueue *eq_ = nullptr;
+    unsigned long long interval_ = 1000;
+};
+
+void
+BadSampler::start()
+{
+    // finding: arms a daemon with no daemonScheduled().
+    eq_->schedule(eq_->now() + interval_, &BadSampler::sampleEvent,
+                  this);
+}
+
+void
+BadSampler::sampleEvent(void *arg)
+{
+    // findings: no daemonFired(); re-arm guarded by empty() instead
+    // of quiescent(); re-arm site lacks daemonScheduled().
+    auto *s = static_cast<BadSampler *>(arg);
+    if (!s->eq_->empty()) {
+        s->eq_->schedule(s->eq_->now() + s->interval_,
+                         &BadSampler::sampleEvent, s);
+    }
+}
+
+} // namespace fixture

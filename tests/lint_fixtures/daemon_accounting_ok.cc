@@ -1,0 +1,76 @@
+// Conforming twin of daemon_accounting_bad.cc: zero findings. The
+// sampler follows the full daemon protocol (mirrors
+// base/stats.cc); the one-shot event below never re-arms, so the
+// protocol does not apply to it.
+
+namespace fixture
+{
+
+class EventQueue
+{
+  public:
+    unsigned long long now() const;
+    bool quiescent() const;
+    void daemonScheduled();
+    void daemonFired();
+    void schedule(unsigned long long when, void (*fn)(void *),
+                  void *arg);
+};
+
+class GoodSampler
+{
+  public:
+    void start();
+
+  private:
+    static void sampleEvent(void *arg);
+
+    EventQueue *eq_ = nullptr;
+    unsigned long long interval_ = 1000;
+};
+
+void
+GoodSampler::start()
+{
+    eq_->daemonScheduled();
+    eq_->schedule(eq_->now() + interval_, &GoodSampler::sampleEvent,
+                  this);
+}
+
+void
+GoodSampler::sampleEvent(void *arg)
+{
+    auto *s = static_cast<GoodSampler *>(arg);
+    s->eq_->daemonFired();
+    if (!s->eq_->quiescent()) {
+        s->eq_->daemonScheduled();
+        s->eq_->schedule(s->eq_->now() + s->interval_,
+                         &GoodSampler::sampleEvent, s);
+    }
+}
+
+class OneShot
+{
+  public:
+    void arm();
+
+  private:
+    static void fireEvent(void *arg);
+
+    EventQueue *eq_ = nullptr;
+};
+
+void
+OneShot::arm()
+{
+    // Never re-arms: a plain event, no daemon accounting needed.
+    eq_->schedule(eq_->now() + 5, &OneShot::fireEvent, this);
+}
+
+void
+OneShot::fireEvent(void *arg)
+{
+    (void)arg;
+}
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+// Seeded violations for the `determinism` rule. Each marked line
+// must appear in expected.txt; run_fixtures.py diffs the analyzer
+// output against it.
+
+#include <cstdlib>
+#include <chrono>
+#include <map>
+
+namespace fixture
+{
+
+int
+rollDice()
+{
+    return rand() % 6; // finding: hidden process-global state
+}
+
+long long
+stamp()
+{
+    // finding on the next line: host wall clock
+    auto t = std::chrono::system_clock::now();
+    return t.time_since_epoch().count();
+}
+
+const char *
+homeDir()
+{
+    return getenv("HOME"); // finding: ambient environment
+}
+
+struct ObjectTable
+{
+    // finding: pointer-keyed ordered container iterates in
+    // allocation-address order.
+    std::map<void *, int> byObject;
+};
+
+} // namespace fixture

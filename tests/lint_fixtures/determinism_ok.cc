@@ -1,0 +1,42 @@
+// Conforming twin of determinism_bad.cc: must produce zero
+// findings. Exercises the rule's negative space — seeded RNG,
+// stable-id keys, and identifiers that merely resemble banned ones.
+
+#include <cstdint>
+#include <map>
+
+namespace fixture
+{
+
+struct Rng
+{
+    std::uint64_t state;
+    std::uint64_t next();
+};
+
+int
+rollDice(Rng &rng)
+{
+    // Seeded stream, not rand(): reproducible per seed.
+    return int(rng.next() % 6);
+}
+
+struct ObjectTable
+{
+    // Keyed on a stable id, not a pointer: iteration order is the
+    // id order, identical across runs.
+    std::map<std::uint64_t, int> byId;
+};
+
+// Near-miss identifiers must not trip the ban list.
+int randomize_nothing = 0;
+
+template <typename T>
+struct set; // a project type named `set` without std:: is fine
+
+void
+useProjectSet(set<int *> *)
+{
+}
+
+} // namespace fixture

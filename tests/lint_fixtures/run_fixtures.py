@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Golden-diff driver for the minnow-lint fixture suite (tier-1,
+wired into ctest as `minnow_lint_fixtures`).
+
+Checks, in order:
+
+ 1. linting the whole fixture directory finds EXACTLY the (path,
+    line, rule) triples in expected.txt — a missed seeded violation
+    and a new false positive both fail;
+ 2. the --json output carries the documented schema and a count
+    consistent with the findings list, and the process exits 1;
+ 3. every production rule and both meta rules are exercised by at
+    least one fixture finding;
+ 4. the conforming fixtures alone (including the used-suppression
+    file) lint clean with exit 0.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(ROOT, "tools", "lint", "minnow-lint.py")
+FIXDIR = os.path.relpath(HERE, ROOT)
+
+EXPECTED_RULES = {
+    "determinism", "unordered-export", "coroutine-order",
+    "stats-lifetime", "daemon-accounting", "trace-format",
+    "stale-suppression", "bad-suppression",
+}
+
+
+def run_lint(paths):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", ROOT, "--json"] + paths,
+        capture_output=True, text=True)
+    if proc.returncode == 2:
+        raise SystemExit("FAIL: analyzer error:\n" + proc.stderr)
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def main():
+    failures = []
+
+    # 1 + 2: full fixture directory against the golden set.
+    rc, doc = run_lint([FIXDIR])
+    if doc.get("schema") != "minnow-lint-1":
+        failures.append("schema is %r, want 'minnow-lint-1'"
+                        % doc.get("schema"))
+    for key in ("version", "findings", "count", "files_scanned"):
+        if key not in doc:
+            failures.append("--json output lacks %r" % key)
+    if doc.get("count") != len(doc.get("findings", [])):
+        failures.append("count %r != len(findings) %d"
+                        % (doc.get("count"),
+                           len(doc.get("findings", []))))
+    for f in doc.get("findings", []):
+        for key in ("path", "line", "rule", "message"):
+            if key not in f:
+                failures.append("finding lacks %r: %r" % (key, f))
+    if rc != 1:
+        failures.append("exit code on violating fixtures is %d, "
+                        "want 1" % rc)
+
+    got = sorted("%s:%d %s" % (f["path"], f["line"], f["rule"])
+                 for f in doc.get("findings", []))
+    with open(os.path.join(HERE, "expected.txt")) as fh:
+        want = sorted(line.strip() for line in fh
+                      if line.strip() and not line.startswith("#"))
+    if got != want:
+        missing = [w for w in want if w not in got]
+        surplus = [g for g in got if g not in want]
+        if missing:
+            failures.append("seeded violations NOT caught:\n  " +
+                            "\n  ".join(missing))
+        if surplus:
+            failures.append("unexpected findings:\n  " +
+                            "\n  ".join(surplus))
+
+    # 3: coverage — every rule must be exercised.
+    seen_rules = {f["rule"] for f in doc.get("findings", [])}
+    for rule in sorted(EXPECTED_RULES - seen_rules):
+        failures.append("rule %r has no firing fixture" % rule)
+
+    # 4: the conforming twins lint clean.
+    ok_files = sorted(
+        os.path.join(FIXDIR, f) for f in os.listdir(HERE)
+        if f.endswith(("_ok.cc", "_ok.hh")))  # incl. suppress_ok.cc
+    rc, doc = run_lint(ok_files)
+    if rc != 0 or doc.get("count") != 0:
+        failures.append(
+            "conforming fixtures not clean (exit %d):\n  %s"
+            % (rc, "\n  ".join(
+                "%s:%d [%s] %s" % (f["path"], f["line"], f["rule"],
+                                   f["message"])
+                for f in doc.get("findings", []))))
+
+    if failures:
+        print("minnow-lint fixture suite FAILED:")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print("minnow-lint fixture suite passed: %d golden findings, "
+          "%d rules exercised, conforming twins clean"
+          % (len(want), len(EXPECTED_RULES)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+// Seeded violations for the `stats-lifetime` rule: a group
+// registered into an external registry with no removal path.
+
+#ifndef FIXTURE_STATS_LIFETIME_BAD_HH
+#define FIXTURE_STATS_LIFETIME_BAD_HH
+
+namespace fixture
+{
+
+class StatsRegistry;
+class StatsGroup;
+
+class LeakyComponent
+{
+  public:
+    // finding: `reg` is external (a parameter) and no removeGroup()
+    // is reachable from any destructor of this class — the group's
+    // formulas capture `this` and dangle once the component dies.
+    void
+    registerStats(StatsRegistry &reg)
+    {
+        reg.freshGroup("leaky");
+    }
+
+  private:
+    unsigned long long counter_ = 0;
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,22 @@
+// A real violation silenced by a well-formed LINT-OK: zero
+// findings, and the suppression is counted as used (not stale).
+
+#include <cstdlib>
+
+namespace fixture
+{
+
+int
+chaosForTesting()
+{
+    // LINT-OK(determinism): fixture shows a sanctioned suppression
+    return rand();
+}
+
+const char *
+envProbe()
+{
+    return getenv("TERM"); // LINT-OK(determinism): trailing style
+}
+
+} // namespace fixture

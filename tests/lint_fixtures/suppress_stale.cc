@@ -1,0 +1,28 @@
+// Suppression hygiene violations: a LINT-OK that silences nothing
+// (stale), one naming an unknown rule, and one without a reason.
+
+namespace fixture
+{
+
+int
+cleanFunction()
+{
+    // LINT-OK(determinism): nothing here violates it -> stale
+    return 42;
+}
+
+int
+moreCleanCode()
+{
+    // LINT-OK(not-a-rule): unknown rule id -> bad-suppression
+    return 7;
+}
+
+int
+reasonless()
+{
+    // LINT-OK(trace-format)
+    return 0;
+}
+
+} // namespace fixture

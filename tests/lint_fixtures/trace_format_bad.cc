@@ -1,0 +1,21 @@
+// Seeded violations for the `trace-format` rule: printf-family
+// spec/argument mismatches (these compile when the forwarding
+// macro layer drops [[gnu::format]], then read garbage varargs).
+
+namespace fixture
+{
+
+void
+emit(int a, int b, const char *name)
+{
+    // finding: 2 conversions, 1 argument.
+    DPRINTF(Engine, "engine", "a=%d b=%d\n", a);
+
+    // finding: 1 conversion, 2 arguments.
+    warn("stray value %d\n", a, b);
+
+    // finding: 2 conversions, 1 argument (fmt arg is index 1).
+    panic_if(a > b, "bad pair %d/%s", name);
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Conforming twin of trace_format_bad.cc: zero findings. Covers
+// the spec-parser corners: %%, * width/precision, length
+// modifiers, adjacent-literal concatenation, and runtime format
+// expressions (skipped, not guessed at).
+
+namespace fixture
+{
+
+void
+emit(int a, int b, const char *name, const char *fmt)
+{
+    DPRINTF(Engine, "engine", "a=%d b=%d\n", a, b);
+    warn("progress %d%%\n", a);
+    panic_if(a > b, "bad pair %d/%s", a, name);
+    DPRINTF(Engine, "engine", "padded %*d prec %.*f\n", a, b, a,
+            1.0);
+    warn("long value %lld"
+         " continued %s\n",
+         0LL, name);
+    // Runtime format string: not checkable at token level, skipped.
+    warn(fmt, a, b);
+}
+
+} // namespace fixture

@@ -1,0 +1,36 @@
+// Seeded violations for the `unordered-export` rule: hash-table
+// iteration order leaking into diffed artifacts.
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct StatsExporter
+{
+    std::unordered_map<std::string, double> values;
+
+    std::string
+    toJson() const
+    {
+        std::string out = "{";
+        for (const auto &kv : values) // finding: range-for
+            out += kv.first;
+        out += "}";
+        return out;
+    }
+
+    std::string
+    dumpDiagnostic() const
+    {
+        std::string out;
+        std::unordered_map<int, int> histo;
+        // finding: iterator walk over a local unordered container
+        for (auto it = histo.begin(); it != histo.end(); ++it)
+            out += std::to_string(it->second);
+        return out;
+    }
+};
+
+} // namespace fixture

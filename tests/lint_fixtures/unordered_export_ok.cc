@@ -1,0 +1,44 @@
+// Conforming twin of unordered_export_bad.cc: zero findings.
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture
+{
+
+struct StatsExporter
+{
+    std::unordered_map<std::string, double> values;
+
+    // The canonical conforming shape: collect keys, sort them, emit
+    // in sorted order. The sort call marks the function as having a
+    // fixed emission order.
+    std::string
+    toJson() const
+    {
+        std::vector<std::string> keys;
+        for (const auto &kv : values)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        std::string out = "{";
+        for (const auto &k : keys)
+            out += k;
+        out += "}";
+        return out;
+    }
+
+    // Iterating an unordered container outside an export path is
+    // fine: order does not reach any diffed artifact.
+    double
+    total() const
+    {
+        double sum = 0;
+        for (const auto &kv : values)
+            sum += kv.second;
+        return sum;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Entry-point wrapper so the analyzer runs without installation:
+
+    python3 tools/lint/minnow-lint.py [--root DIR] [paths...]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from minnow_lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""minnow-lint: in-tree static analysis for the Minnow simulator.
+
+A libclang-free analyzer enforcing the project's determinism,
+lifetime, and instrumentation invariants (see DESIGN.md section 5g).
+It is built from a real C++ tokenizer (tools/lint/minnow_lint/
+tokenizer.py) and a lightweight structural model (cpp_model.py) that
+per-rule visitors walk; it is deliberately *not* a pile of regexes
+over raw text, so string literals, comments, and nested class bodies
+cannot confuse the rules.
+
+Rules (stable identifiers, used in LINT-OK suppressions):
+
+  determinism        D1: no wall-clock / ambient-entropy / pointer-
+                     keyed-ordered-container use in src/.
+  unordered-export   D2: no iteration over unordered containers in
+                     functions that export JSON / dumps.
+  coroutine-order    L1: timeline/stat bookkeeping members must be
+                     declared before coroutine containers.
+  stats-lifetime     L2: external StatsRegistry group registrations
+                     need a removeGroup reachable from the dtor.
+  daemon-accounting  E1: self-rearming EventQueue events must use the
+                     daemon accounting API, never empty().
+  trace-format       T1: DPRINTF/logging format strings must match
+                     their argument counts.
+
+Meta findings: stale-suppression (a LINT-OK that suppressed nothing)
+and bad-suppression (unknown rule or missing reason).
+"""
+
+__version__ = "1.0"
+
+SCHEMA = "minnow-lint-1"

@@ -1,0 +1,76 @@
+"""Command-line front end.
+
+Usage:
+    minnow-lint [--root DIR] [--json] [PATH...]
+    minnow-lint --list-rules
+
+Paths default to `src`. Exit status: 0 = clean, 1 = findings
+(including stale/bad suppressions), 2 = analyzer error.
+"""
+
+import argparse
+import json
+import sys
+
+from . import __version__
+from .engine import run, to_json, LintError
+from .rules import ALL_RULES, META_RULE_IDS
+
+
+def _list_rules():
+    width = max(len(r.RULE_ID) for r in ALL_RULES)
+    for r in ALL_RULES:
+        print("%-*s  %s" % (width, r.RULE_ID, r.DOC))
+    for meta in META_RULE_IDS:
+        print("%-*s  %s" % (width, meta,
+                            "(meta) raised by the suppression "
+                            "machinery itself"))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="minnow-lint",
+        description="Minnow in-tree static analysis "
+                    "(determinism / lifetime / instrumentation "
+                    "invariants; see DESIGN.md 5g)")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint "
+                         "(default: src)")
+    ap.add_argument("--root", default=".",
+                    help="repository root paths are relative to")
+    ap.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON on stdout")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print rule ids and one-line docs, then "
+                         "exit")
+    ap.add_argument("--version", action="version",
+                    version="minnow-lint " + __version__)
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    paths = args.paths or ["src"]
+    try:
+        findings, files_scanned = run(args.root, paths)
+    except LintError as e:
+        print("minnow-lint: error: %s" % e, file=sys.stderr)
+        return 2
+
+    if args.json:
+        json.dump(to_json(findings, files_scanned, args.root),
+                  sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for path, line, rule, msg in findings:
+            print("%s:%d: [%s] %s" % (path, line, rule, msg))
+        print("minnow-lint: %d finding%s in %d file%s"
+              % (len(findings), "" if len(findings) == 1 else "s",
+                 files_scanned, "" if files_scanned == 1 else "s"),
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

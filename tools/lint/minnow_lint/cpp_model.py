@@ -1,0 +1,537 @@
+"""Lightweight structural model of a C++ translation unit.
+
+Built on the token stream from tokenizer.py, this recognizes the
+subset of C++ structure the lint rules need:
+
+  - class/struct definitions (including nesting; nested bodies are
+    excluded from the parent's member scan),
+  - data-member declarations with their type tokens, names and lines,
+  - member function definitions (inline and out-of-line via the
+    Class::method qualifier) with body token ranges,
+  - free function definitions.
+
+It is an *outline* parser: it tracks brace/paren nesting, constructor
+initializer lists, enum bodies, and template headers, but it does not
+attempt full declaration parsing. Rules are written to be robust to
+the places where the outline is approximate (e.g. a member whose
+default initializer is a lambda is skipped rather than misparsed).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Member:
+    name: str
+    type_tokens: list  # Token list (declaration minus name/init)
+    line: int
+
+
+@dataclass
+class Method:
+    name: str  # '~Foo' for destructors
+    line: int
+    body: list  # Token list of the body, without outer braces
+    cls: str = ""  # owning class name ('' for free functions)
+
+
+@dataclass
+class ClassDef:
+    name: str
+    line: int
+    members: list = field(default_factory=list)  # [Member]
+    methods: list = field(default_factory=list)  # [Method]
+
+
+@dataclass
+class FileModel:
+    path: str
+    tokens: list
+    comments: list
+    classes: list = field(default_factory=list)  # [ClassDef]
+    functions: list = field(default_factory=list)  # [Method]
+
+
+_KEYWORD_NOT_NAME = {
+    "public", "private", "protected", "virtual", "static",
+    "constexpr", "const", "mutable", "inline", "explicit", "typename",
+    "class", "struct", "friend", "using", "template", "operator",
+    "noexcept", "override", "final", "default", "delete", "return",
+}
+
+
+def _match_brace(tokens, i):
+    """tokens[i] is '{'; return index just past its matching '}'."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def _match_paren(tokens, i):
+    """tokens[i] is '('; return index just past its matching ')'."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def _skip_template_args(tokens, i):
+    """tokens[i] is '<'; return index just past the matching '>'.
+
+    Balances '<'/'>' and skips over parenthesized regions (so a
+    comparison inside a default template argument cannot derail the
+    count). Gives up (returns i+1) if no balance is found within the
+    statement - callers treat that as 'not a template'.
+    """
+    depth = 0
+    n = len(tokens)
+    j = i
+    while j < n:
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif t.text == "(":
+                j = _match_paren(tokens, j)
+                continue
+            elif t.text in (";", "{", "}"):
+                return i + 1  # not a template after all
+        j += 1
+    return i + 1
+
+
+def _decl_name(decl_tokens):
+    """Best-effort declared name(s) for a data-member declaration.
+
+    Handles `T name;`, `T name = init;`, `T name{init};`,
+    `T name[expr];`, and comma-separated declarator lists. Returns a
+    list of (name, line).
+    """
+    names = []
+    depth_angle = 0
+    depth_par = 0
+    prev_id = None
+    i = 0
+    n = len(decl_tokens)
+    while i < n:
+        t = decl_tokens[i]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth_angle += 1
+            elif t.text == ">":
+                depth_angle = max(0, depth_angle - 1)
+            elif t.text in ("(", "["):
+                depth_par += 1
+            elif t.text in (")", "]"):
+                depth_par -= 1
+            elif depth_angle == 0 and depth_par == 0:
+                if t.text in (",", "=", "{") and prev_id is not None:
+                    names.append(prev_id)
+                    prev_id = None
+                    if t.text in ("=", "{"):
+                        # Skip the initializer to the next top-level
+                        # comma or the end.
+                        if t.text == "{":
+                            i = _match_brace(decl_tokens, i)
+                            continue
+                        while i < n:
+                            u = decl_tokens[i]
+                            if u.kind == "punct" and u.text == "(":
+                                i = _match_paren(decl_tokens, i)
+                                continue
+                            if u.kind == "punct" and u.text == "{":
+                                i = _match_brace(decl_tokens, i)
+                                continue
+                            if u.kind == "punct" and u.text == ",":
+                                break
+                            i += 1
+                        continue
+        elif t.kind == "id" and depth_angle == 0 and depth_par == 0:
+            if t.text not in _KEYWORD_NOT_NAME:
+                prev_id = (t.text, t.line)
+        i += 1
+    if prev_id is not None:
+        names.append(prev_id)
+    return names
+
+
+class _Parser:
+    def __init__(self, model):
+        self.model = model
+        self.toks = model.tokens
+
+    def parse(self):
+        self._scan_region(0, len(self.toks), cls=None)
+
+    # -- region scanning ------------------------------------------------
+
+    def _scan_region(self, i, end, cls):
+        """Scan declarations in [i, end); cls is the enclosing
+        ClassDef or None for namespace/file scope."""
+        toks = self.toks
+        decl_start = i
+        while i < end:
+            t = toks[i]
+            if t.kind == "id" and t.text == "namespace" and cls is None:
+                # namespace [a::b] { ... }  -> recurse transparently.
+                j = i + 1
+                while j < end and not (toks[j].kind == "punct" and
+                                       toks[j].text in ("{", ";", "=")):
+                    j += 1
+                if j < end and toks[j].text == "{":
+                    body_end = _match_brace(toks, j) - 1
+                    self._scan_region(j + 1, body_end, cls=None)
+                    i = body_end + 1
+                elif j < end and toks[j].text == "=":
+                    # namespace alias; skip to ';'.
+                    while j < end and toks[j].text != ";":
+                        j += 1
+                    i = j + 1
+                else:
+                    i = j + 1
+                decl_start = i
+                continue
+
+            if cls is not None and t.kind == "id" and \
+                    t.text in ("public", "private", "protected") and \
+                    i + 1 < end and toks[i + 1].kind == "punct" and \
+                    toks[i + 1].text == ":":
+                # Access specifier: must not leak into the next
+                # member's declaration tokens.
+                i += 2
+                decl_start = i
+                continue
+
+            if t.kind == "id" and t.text == "template":
+                j = i + 1
+                if j < end and toks[j].kind == "punct" and \
+                        toks[j].text == "<":
+                    j = _skip_template_args(toks, j)
+                i = j
+                continue  # decl_start keeps accumulating
+
+            if t.kind == "id" and t.text == "enum":
+                i = self._skip_enum(i, end)
+                decl_start = i
+                continue
+
+            if t.kind == "id" and t.text in ("class", "struct") and \
+                    not self._is_elaborated_use(i):
+                nxt = self._parse_class(i, end, cls)
+                if nxt is not None:
+                    i = nxt
+                    decl_start = i
+                    continue
+                # fall through: forward decl or elaborated type.
+
+            if t.kind == "punct" and t.text == "{":
+                # A brace inside a declaration: function body,
+                # brace-initializer, or a stray block.
+                if self._looks_like_function(decl_start, i):
+                    name, line = self._function_name(decl_start, i)
+                    body_end = _match_brace(toks, i)
+                    body = toks[i + 1:body_end - 1]
+                    self._record_function(name, line, body, cls,
+                                          decl_start, i)
+                    i = body_end
+                    decl_start = i
+                    continue
+                # Brace initializer or block: skip it, keep the decl
+                # accumulating so the ';' handler sees it.
+                i = _match_brace(toks, i)
+                continue
+
+            if t.kind == "punct" and t.text == ";":
+                if cls is not None and i > decl_start:
+                    self._record_member(decl_start, i, cls)
+                i += 1
+                decl_start = i
+                continue
+
+            if t.kind == "punct" and t.text == "(":
+                i = _match_paren(toks, i)
+                # Constructor initializer list: ') : id(..) ... {'
+                if i < end and toks[i].kind == "punct" and \
+                        toks[i].text == ":" and \
+                        self._looks_like_function(decl_start, i):
+                    i = self._skip_ctor_init(i, end)
+                continue
+
+            i += 1
+
+    def _is_elaborated_use(self, i):
+        """True for `class X *p;`-style uses we should not treat as a
+        definition opener: enum class handled separately; here we
+        check the *previous* token for 'enum'."""
+        if i > 0:
+            p = self.toks[i - 1]
+            if p.kind == "id" and p.text == "enum":
+                return True
+        return False
+
+    def _skip_enum(self, i, end):
+        """Skip an enum/enum-class definition or reference."""
+        toks = self.toks
+        j = i + 1
+        while j < end and not (toks[j].kind == "punct" and
+                               toks[j].text in ("{", ";")):
+            j += 1
+        if j < end and toks[j].text == "{":
+            j = _match_brace(toks, j)
+            # trailing ';'
+            if j < end and toks[j].kind == "punct" and \
+                    toks[j].text == ";":
+                j += 1
+        else:
+            j = min(j + 1, end)
+        return j
+
+    def _parse_class(self, i, end, outer_cls):
+        """toks[i] is class/struct. If a definition follows, record
+        it (and recurse into its body); return the index past it.
+        Return None for forward declarations / elaborated uses."""
+        toks = self.toks
+        j = i + 1
+        # Skip attributes.
+        while j < end and toks[j].kind == "punct" and \
+                toks[j].text == "[":
+            depth = 0
+            while j < end:
+                if toks[j].text == "[":
+                    depth += 1
+                elif toks[j].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+        name = None
+        if j < end and toks[j].kind == "id":
+            name = toks[j].text
+            line = toks[j].line
+            j += 1
+            if j < end and toks[j].kind == "punct" and \
+                    toks[j].text == "<":
+                j = _skip_template_args(toks, j)  # specialization
+        else:
+            line = toks[i].line
+            name = "<anon>"
+        # Scan to '{' (definition), ';' (forward decl) or something
+        # else (elaborated use as a type).
+        k = j
+        while k < end:
+            t = toks[k]
+            if t.kind == "punct" and t.text == "{":
+                break
+            if t.kind == "punct" and t.text in (";", ")", ",", "=",
+                                                "*", "&"):
+                return None
+            if t.kind == "punct" and t.text == "<":
+                k = _skip_template_args(toks, k)
+                continue
+            k += 1
+        if k >= end:
+            return None
+        cdef = ClassDef(name=name, line=line)
+        self.model.classes.append(cdef)
+        body_end = _match_brace(toks, k) - 1
+        self._scan_region(k + 1, body_end, cls=cdef)
+        # Consume trailing ';' if present.
+        nxt = body_end + 1
+        if nxt < end and toks[nxt].kind == "punct" and \
+                toks[nxt].text == ";":
+            nxt += 1
+        return nxt
+
+    def _skip_ctor_init(self, i, end):
+        """toks[i] is the ':' starting a ctor initializer list;
+        return the index of the body '{' (or end)."""
+        toks = self.toks
+        j = i + 1
+        while j < end:
+            t = toks[j]
+            if t.kind == "punct" and t.text == "(":
+                j = _match_paren(toks, j)
+                continue
+            if t.kind == "punct" and t.text == "{":
+                # Either a brace-initializer `member{...}` (preceded
+                # by an id or '>') followed by ',' or '{', or the
+                # constructor body itself. Disambiguate: an init-list
+                # brace directly follows an identifier/template close.
+                prev = toks[j - 1]
+                if prev.kind == "id" or (prev.kind == "punct" and
+                                         prev.text == ">"):
+                    j2 = _match_brace(toks, j)
+                    if j2 < end and toks[j2].kind == "punct" and \
+                            toks[j2].text == ",":
+                        j = j2 + 1
+                        continue
+                    # followed by the body brace (or end).
+                    return j2 if (j2 < end and toks[j2].text == "{") \
+                        else j
+                return j
+            j += 1
+        return end
+
+    # -- classification helpers -----------------------------------------
+
+    def _looks_like_function(self, decl_start, brace_i):
+        """Does toks[decl_start:brace_i] look like a function header
+        (has a top-level parameter list, no top-level '=')?"""
+        toks = self.toks
+        has_parens = False
+        i = decl_start
+        while i < brace_i:
+            t = toks[i]
+            if t.kind == "punct" and t.text == "(":
+                has_parens = True
+                i = _match_paren(toks, i)
+                continue
+            if t.kind == "punct" and t.text == "=":
+                prev = toks[i - 1] if i > decl_start else None
+                if not (prev and prev.kind == "id" and
+                        prev.text == "operator"):
+                    return False  # initializer, not a function
+            if t.kind == "punct" and t.text == "<":
+                i = _skip_template_args(toks, i)
+                continue
+            i += 1
+        return has_parens
+
+    def _function_name(self, decl_start, brace_i):
+        """Name of the function whose header is
+        toks[decl_start:brace_i]. For `A::B::name(...)` returns
+        ('A::name' collapsed to class+name via the last qualifier)."""
+        toks = self.toks
+        # Find the '(' opening the parameter list: the last
+        # top-level '(' before the first top-level ':' (a bare ':'
+        # in a header starts a constructor initializer list; '::' is
+        # a single distinct token, so it cannot confuse this).
+        i = decl_start
+        paren_at = None
+        while i < brace_i:
+            t = toks[i]
+            if t.kind == "punct" and t.text == ":":
+                break
+            if t.kind == "punct" and t.text == "(":
+                nxt = _match_paren(toks, i)
+                paren_at = i
+                i = nxt
+                continue
+            if t.kind == "punct" and t.text == "<":
+                i = _skip_template_args(toks, i)
+                continue
+            i += 1
+        if paren_at is None or paren_at == decl_start:
+            return "<anon>", toks[decl_start].line
+        # Walk back over the name: id, possibly '~id', possibly
+        # qualified with Class::
+        k = paren_at - 1
+        if toks[k].kind == "punct" and toks[k].text == ">":
+            # templated name `name<T>(...)`: back over the args.
+            depth = 0
+            while k > decl_start:
+                if toks[k].text == ">":
+                    depth += 1
+                elif toks[k].text == "<":
+                    depth -= 1
+                    if depth == 0:
+                        k -= 1
+                        break
+                k -= 1
+        if toks[k].kind != "id":
+            return "<anon>", toks[k].line
+        name = toks[k].text
+        line = toks[k].line
+        if k > decl_start and toks[k - 1].kind == "punct" and \
+                toks[k - 1].text == "~":
+            name = "~" + name
+            k -= 1
+        cls_name = ""
+        if k - 2 >= decl_start and toks[k - 1].kind == "punct" and \
+                toks[k - 1].text == "::" and toks[k - 2].kind == "id":
+            cls_name = toks[k - 2].text
+        return (cls_name + "::" + name if cls_name else name), line
+
+    def _record_function(self, qualname, line, body, cls,
+                         decl_start, brace_i):
+        if "::" in qualname:
+            cls_name, name = qualname.rsplit("::", 1)
+        else:
+            cls_name, name = ("", qualname)
+        if cls is not None:
+            m = Method(name=qualname, line=line, body=body,
+                       cls=cls.name)
+            cls.methods.append(m)
+        elif cls_name:
+            # Out-of-line member definition: attach to the class if
+            # we saw its definition, else record as a free function
+            # tagged with the class name (unit merging resolves it).
+            m = Method(name=name, line=line, body=body, cls=cls_name)
+            for cdef in self.model.classes:
+                if cdef.name == cls_name:
+                    cdef.methods.append(m)
+                    break
+            else:
+                self.model.functions.append(m)
+        else:
+            self.model.functions.append(
+                Method(name=name, line=line, body=body, cls=""))
+
+    def _record_member(self, decl_start, semi_i, cls):
+        toks = self.toks
+        decl = toks[decl_start:semi_i]
+        if not decl:
+            return
+        # Skip access specifiers, using/friend/typedef declarations,
+        # and pure-virtual or defaulted function declarations.
+        first = decl[0]
+        if first.kind == "id" and first.text in (
+                "using", "friend", "typedef", "static_assert"):
+            return
+        if first.kind == "punct" and first.text == ":":
+            return
+        has_parens = any(t.kind == "punct" and t.text == "("
+                         for t in decl)
+        if has_parens:
+            # Method declaration (no body) — record the name so rules
+            # can see the interface, but not as a data member.
+            return
+        names = _decl_name(decl)
+        for name, line in names:
+            cls.members.append(
+                Member(name=name, type_tokens=decl, line=line))
+
+
+def build_model(path, tokens, comments):
+    """Parse tokens into a FileModel. Never raises on weird input —
+    an outline that missed something simply yields fewer findings."""
+    model = FileModel(path=path, tokens=tokens, comments=comments)
+    try:
+        _Parser(model).parse()
+    except RecursionError:  # pragma: no cover - safety net
+        pass
+    return model

@@ -1,0 +1,137 @@
+"""Driver: discover files, build models, run rules, apply the
+allowlist and LINT-OK suppressions, and produce findings.
+
+Findings are 4-tuples (path, line, rule, message) with `path`
+relative to the scan root, sorted by (path, line, rule) so output is
+stable for golden-file diffing.
+"""
+
+import os
+
+from . import SCHEMA, __version__
+from .tokenizer import tokenize, TokenizeError
+from .cpp_model import build_model
+from .rules import ALL_RULES, RULE_IDS, META_RULE_IDS
+from . import suppressions
+
+_EXTS = (".hh", ".cc", ".h", ".cpp")
+
+# The project-wide allowlist: (rule, path suffix, token). A finding
+# of `rule` in a file whose path ends with the suffix is dropped when
+# the token appears in its message. Deliberately exactly one entry:
+# the --host-profile self-profiler measures host wall time by design,
+# and every host-time read in the tree is funneled through the single
+# hostNowNs() in base/host_clock.cc so the exemption covers one
+# symbol in one file. Grow this list only with a matching DESIGN.md
+# 5g note.
+DEFAULT_ALLOWLIST = [
+    ("determinism", "base/host_clock.cc", "steady_clock"),
+]
+
+
+class LintError(Exception):
+    """Fatal analyzer problem (unreadable file, tokenizer failure)."""
+
+
+def discover(root, paths):
+    """Expand `paths` (files or directories, relative to `root`)
+    into a sorted list of source files relative to root."""
+    out = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            out.append(os.path.relpath(full, root))
+        elif os.path.isdir(full):
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames.sort()
+                for fn in sorted(filenames):
+                    if fn.endswith(_EXTS):
+                        out.append(os.path.relpath(
+                            os.path.join(dirpath, fn), root))
+        else:
+            raise LintError("no such file or directory: %s" % p)
+    return sorted(set(out))
+
+
+def _units(models):
+    """Group FileModels by path stem so foo.hh and foo.cc are
+    analyzed together (out-of-line definitions see the class)."""
+    by_stem = {}
+    for m in models:
+        stem = os.path.splitext(m.path)[0]
+        by_stem.setdefault(stem, []).append(m)
+    return [by_stem[s] for s in sorted(by_stem)]
+
+
+def _allowlisted(finding, allowlist):
+    path, _line, rule, msg = finding
+    for arule, suffix, token in allowlist:
+        if rule == arule and path.endswith(suffix) and token in msg:
+            return True
+    return False
+
+
+def run(root, paths, allowlist=None):
+    """Lint `paths` under `root`. Returns (findings, files_scanned).
+
+    Raises LintError on unreadable input or tokenizer failure —
+    a file the analyzer cannot read is a hard error, not a silent
+    pass.
+    """
+    if allowlist is None:
+        allowlist = DEFAULT_ALLOWLIST
+    rel_files = discover(root, paths)
+    models = []
+    file_comments = {}
+    for rel in rel_files:
+        full = os.path.join(root, rel)
+        try:
+            with open(full, "r", encoding="utf-8",
+                      errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            raise LintError("cannot read %s: %s" % (rel, e))
+        try:
+            tokens, comments, _pp = tokenize(text, rel)
+        except TokenizeError as e:
+            raise LintError(str(e))
+        models.append(build_model(rel, tokens, comments))
+        file_comments[rel] = comments
+
+    raw = []
+    for unit in _units(models):
+        for rule in ALL_RULES:
+            raw.extend(rule.check(unit))
+
+    raw = [f for f in raw if not _allowlisted(f, allowlist)]
+
+    # Apply suppressions file by file; stale/bad suppressions are
+    # findings in their own right.
+    by_path = {}
+    for path, line, rule, msg in raw:
+        by_path.setdefault(path, []).append((line, rule, msg))
+    known = set(RULE_IDS) | set(META_RULE_IDS)
+    final = []
+    for rel in rel_files:
+        fs = suppressions.collect(rel, file_comments[rel], known)
+        kept = suppressions.apply(fs, by_path.get(rel, []))
+        kept.extend(suppressions.stale(fs))
+        final.extend((rel, line, rule, msg)
+                     for line, rule, msg in kept)
+
+    final.sort(key=lambda f: (f[0], f[1], f[2], f[3]))
+    return final, len(rel_files)
+
+
+def to_json(findings, files_scanned, root):
+    return {
+        "schema": SCHEMA,
+        "version": __version__,
+        "root": root,
+        "files_scanned": files_scanned,
+        "count": len(findings),
+        "findings": [
+            {"path": p, "line": l, "rule": r, "message": m}
+            for p, l, r, m in findings
+        ],
+    }

@@ -1,0 +1,30 @@
+"""Rule registry. Each rule module exposes RULE_ID, DOC, and
+check(unit) -> [(path, line, rule, message)].
+
+A `unit` is a list of FileModel objects sharing a path stem (foo.hh
++ foo.cc), so rules that relate a class body to its out-of-line
+member definitions see both sides.
+"""
+
+from . import determinism
+from . import unordered_export
+from . import coroutine_order
+from . import stats_lifetime
+from . import daemon_accounting
+from . import trace_format
+
+ALL_RULES = [
+    determinism,
+    unordered_export,
+    coroutine_order,
+    stats_lifetime,
+    daemon_accounting,
+    trace_format,
+]
+
+RULE_IDS = [r.RULE_ID for r in ALL_RULES]
+
+# Findings the suppression machinery itself can raise; LINT-OK may
+# name any of these too (suppressing a meta finding is never useful,
+# but naming them must not be reported as an unknown rule).
+META_RULE_IDS = ["stale-suppression", "bad-suppression"]

@@ -1,0 +1,71 @@
+"""L1 `coroutine-order`: bookkeeping before coroutine containers.
+
+The PR 4 use-after-free class: a class owns suspended coroutines in
+a container (std::vector<CoTask<void>> threadlets_). Destroying a
+suspended coroutine runs the destructors of its locals — RAII spans
+(TlSpan), scope guards — which touch the owner's timeline-lane and
+stat bookkeeping. C++ destroys members in reverse declaration order,
+so any bookkeeping member declared *after* the coroutine container
+is already dead when those destructors run.
+
+Rule: in a class that declares an *owning* coroutine container (a
+member whose type mentions both a container and CoTask), every
+member whose type mentions timeline/stat bookkeeping (TrackId, the
+timeline namespace, HistogramStat, StatHistogram, StatsGroup,
+ScalarStat, CounterStat, FormulaStat) must be declared before the
+first such container.
+
+Containers of bare std::coroutine_handle<> are deliberately exempt:
+handles are non-owning, so destroying the container destroys no
+coroutine and runs no RAII locals — only CoTask (whose destructor
+calls handle.destroy()) triggers the hazard.
+"""
+
+from ..scan import type_mentions
+
+RULE_ID = "coroutine-order"
+
+DOC = ("timeline/stat bookkeeping members must be declared before "
+       "coroutine containers (reverse-destruction UAF)")
+
+_CONTAINERS = {"vector", "deque", "list", "array", "RingQueue"}
+_CORO = {"CoTask"}
+_BOOKKEEPING = {
+    "TrackId", "timeline", "HistogramStat", "StatHistogram",
+    "StatsGroup", "ScalarStat", "CounterStat", "FormulaStat",
+}
+
+
+def _is_coro_container(m):
+    return type_mentions(m.type_tokens, _CONTAINERS) and \
+        type_mentions(m.type_tokens, _CORO)
+
+
+def check(unit):
+    findings = []
+    for model in unit:
+        for cls in model.classes:
+            first_coro = None
+            for m in cls.members:
+                if _is_coro_container(m):
+                    first_coro = m
+                    break
+            if first_coro is None:
+                continue
+            for m in cls.members:
+                if m.line <= first_coro.line or m is first_coro:
+                    continue
+                if _is_coro_container(m):
+                    continue
+                if type_mentions(m.type_tokens, _BOOKKEEPING):
+                    findings.append(
+                        (model.path, m.line, RULE_ID,
+                         "member '%s::%s' is timeline/stat "
+                         "bookkeeping but is declared after "
+                         "coroutine container '%s' (line %d); "
+                         "suspended-coroutine destructors run RAII "
+                         "spans that touch it after it is "
+                         "destroyed — move it above the container"
+                         % (cls.name, m.name, first_coro.name,
+                            first_coro.line)))
+    return findings

@@ -1,0 +1,190 @@
+"""E1 `daemon-accounting`: self-rearming events must be daemons.
+
+The EventQueue drains when its last event pops. A periodic event
+that re-arms itself ("daemon" — the stats sampler, the timeline
+sampler, the watchdog) would keep the queue non-empty forever, so
+the queue exposes a daemon-accounting protocol (event_queue.hh):
+
+    eq.daemonScheduled();          // at every arm site
+    eq.schedule(when, &C::handler, arg);
+    ...
+    C::handler(void *arg) {
+        eq->daemonFired();         // first thing in the handler
+        if (!eq->quiescent()) {    // re-arm only while real work
+            eq->daemonScheduled();  //   remains
+            eq->schedule(...);
+        }
+    }
+
+Guarding the re-arm with `!eq.empty()` instead is the PR 4
+mutual-keepalive hang: two daemons each see the other's pending
+event and re-arm forever.
+
+Detection: a handler H is a *daemon* when some method schedules the
+member-function pointer `&C::H` and the re-arm of `&C::H` is
+reachable from H itself (in H's body, or in a method H calls — the
+watchdog splits checkEvent/check that way). For a daemon chain the
+rule requires: daemonScheduled in every body that arms `&C::H`,
+daemonFired in H, a quiescent() call guarding the re-arm body, and
+no empty()-based guard on an event-queue receiver anywhere in the
+chain.
+"""
+
+from ..scan import receiver_chain, split_args
+
+RULE_ID = "daemon-accounting"
+
+DOC = ("self-rearming EventQueue events must use daemonScheduled/"
+       "daemonFired/quiescent, never an empty() guard")
+
+
+def _merge_methods(unit):
+    """class name -> [(path, Method)] across the unit (inline
+    methods plus out-of-line definitions tagged with cls)."""
+    classes = {}
+    for model in unit:
+        for cls in model.classes:
+            for m in cls.methods:
+                classes.setdefault(cls.name, []).append(
+                    (model.path, m))
+        for fn in model.functions:
+            if fn.cls:
+                classes.setdefault(fn.cls, []).append(
+                    (model.path, fn))
+    return classes
+
+
+def _handler_schedules(body):
+    """[(line, cls_or_None, handler_name)] for schedule() calls in
+    `body` passing a `&C::H` (or `&H`) function argument."""
+    out = []
+    for i, t in enumerate(body):
+        if not (t.kind == "id" and t.text == "schedule" and
+                i + 1 < len(body) and body[i + 1].text == "("):
+            continue
+        args, _close = split_args(body, i + 1)
+        for arg in args:
+            if not arg or not (arg[0].kind == "punct" and
+                               arg[0].text == "&"):
+                continue
+            if len(arg) >= 4 and arg[1].kind == "id" and \
+                    arg[2].kind == "punct" and arg[2].text == "::" \
+                    and arg[3].kind == "id":
+                out.append((t.line, arg[1].text, arg[3].text))
+            elif len(arg) >= 2 and arg[1].kind == "id" and (
+                    len(arg) == 2 or arg[2].kind != "punct" or
+                    arg[2].text != "::"):
+                out.append((t.line, None, arg[1].text))
+    return out
+
+
+def _has_id_call(body, name):
+    return any(t.kind == "id" and t.text == name and
+               i + 1 < len(body) and body[i + 1].text == "("
+               for i, t in enumerate(body))
+
+
+def _eqish_empty_calls(body):
+    """[(line, recv)] for `X.empty()`/`X->empty()` where the
+    receiver looks like an event queue."""
+    out = []
+    for i, t in enumerate(body):
+        if not (t.kind == "id" and t.text == "empty" and
+                i + 1 < len(body) and body[i + 1].text == "("):
+            continue
+        chain = receiver_chain(body, i)
+        if not chain:
+            continue
+        tail = chain[-1].lower()
+        if "eq" in tail or "queue" in tail or "events" in tail:
+            out.append((t.line, ".".join(chain)))
+    return out
+
+
+def check(unit):
+    findings = []
+    classes = _merge_methods(unit)
+    for cls_name, methods in classes.items():
+        by_base = {}
+        arm_sites = {}  # handler -> [(path, line, Method)]
+        for path, m in methods:
+            base = m.name.split("::")[-1]
+            by_base.setdefault(base, (path, m))
+            for line, hcls, hname in _handler_schedules(m.body):
+                if hcls is not None and hcls != cls_name:
+                    continue
+                arm_sites.setdefault(hname, []).append(
+                    (path, line, m))
+
+        for hname, sites in arm_sites.items():
+            if hname not in by_base:
+                continue
+            hpath, handler = by_base[hname]
+            # A daemon: the re-arm of &C::hname is reachable from the
+            # handler — in its own body, or in a method its body
+            # calls (the watchdog checkEvent -> check split).
+            chain = {id(handler): (hpath, handler)}
+            for i, t in enumerate(handler.body):
+                if t.kind == "id" and i + 1 < len(handler.body) and \
+                        handler.body[i + 1].text == "(" and \
+                        t.text in by_base:
+                    cp, cm = by_base[t.text]
+                    chain[id(cm)] = (cp, cm)
+            rearm = any(
+                any(h == hname for _l, _c, h in
+                    _handler_schedules(m.body))
+                for _p, m in chain.values())
+            if not rearm:
+                continue  # one-shot event, daemon rules don't apply
+
+            # 1. Every arm site's body must account the daemon.
+            for path, line, m in sites:
+                if not _has_id_call(m.body, "daemonScheduled"):
+                    findings.append(
+                        (path, line, RULE_ID,
+                         "'%s' is a self-rearming event but this "
+                         "schedule of &%s::%s has no daemonScheduled"
+                         "() in the same function; the queue will "
+                         "either never drain or drain early"
+                         % (hname, cls_name, hname)))
+            # 2. Handler must fire the accounting first.
+            if not _has_id_call(handler.body, "daemonFired"):
+                findings.append(
+                    (hpath, handler.line, RULE_ID,
+                     "daemon handler '%s::%s' never calls "
+                     "daemonFired(); the queue's daemon count "
+                     "stays high and run() exits early"
+                     % (cls_name, hname)))
+            # 3. The re-arm must be quiescent()-guarded. Only
+            # methods reachable from the handler count as re-arm
+            # sites; a standalone arm() that only the owner calls is
+            # the initial arm and may schedule unconditionally.
+            for p, m in chain.values():
+                rearms_here = any(
+                    h == hname for _l, _c, h in
+                    _handler_schedules(m.body))
+                if rearms_here and \
+                        not _has_id_call(m.body, "quiescent"):
+                    findings.append(
+                        (p, m.line, RULE_ID,
+                         "re-arm of daemon '%s::%s' is not guarded "
+                         "by quiescent(); unconditional re-arm "
+                         "keeps the queue alive forever"
+                         % (cls_name, hname)))
+            # 4. empty()-based guards anywhere in the chain.
+            bodies = [(p, m) for p, m in chain.values()]
+            bodies += [(p, m) for p, _l, m in sites]
+            seen = set()
+            for p, m in bodies:
+                if id(m) in seen:
+                    continue
+                seen.add(id(m))
+                for line, recv in _eqish_empty_calls(m.body):
+                    findings.append(
+                        (p, line, RULE_ID,
+                         "daemon logic for '%s::%s' tests "
+                         "'%s.empty()'; with other daemons armed "
+                         "the queue is never empty (mutual "
+                         "keepalive) — use quiescent()"
+                         % (cls_name, hname, recv)))
+    return findings

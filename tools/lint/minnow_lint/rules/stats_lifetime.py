@@ -1,0 +1,138 @@
+"""L2 `stats-lifetime`: external group registrations must be removed.
+
+StatsRegistry formulas capture pointers into the registering
+component (`[this] { return double(counter_); }`). When a component
+registers a group into a registry it does NOT own and dies first,
+every later dump (interval sample, panic snapshot, end-of-run JSON)
+calls through dangling captures — the PR 2 "worklist" group bug.
+
+Rule: if any method of class C calls `<recv>.group(...)` or
+`<recv>.freshGroup(...)` where the receiver is not a StatsRegistry
+data member of C itself (i.e. the registry is external — a
+parameter, or reached through another object), then C must define a
+destructor from which a `removeGroup(...)` call is reachable (in the
+destructor body, or in a method the destructor calls directly).
+
+The conforming pattern is worklist/worklist.hh: attachStats() stores
+the registry pointer, ~Worklist() calls removeGroup.
+"""
+
+from ..scan import receiver_chain, type_mentions
+
+RULE_ID = "stats-lifetime"
+
+DOC = ("StatsRegistry group registrations into an external registry "
+       "need a removeGroup reachable from the destructor")
+
+_REGISTER = {"group", "freshGroup"}
+
+
+def _merge_classes(unit):
+    """name -> (ClassDef-ish dict) with members and methods merged
+    across the unit's files, remembering each method's file."""
+    classes = {}
+
+    def cls_entry(name):
+        return classes.setdefault(
+            name, {"members": [], "methods": [], "line": 0,
+                   "path": ""})
+
+    for model in unit:
+        for cls in model.classes:
+            e = cls_entry(cls.name)
+            e["members"].extend(cls.members)
+            for m in cls.methods:
+                e["methods"].append((model.path, m))
+            if not e["path"]:
+                e["path"], e["line"] = model.path, cls.line
+        for fn in model.functions:
+            if fn.cls:
+                cls_entry(fn.cls)["methods"].append((model.path, fn))
+    return classes
+
+
+def _own_registry_members(entry):
+    """Names of by-value StatsRegistry data members of the class."""
+    own = set()
+    for m in entry["members"]:
+        if type_mentions(m.type_tokens, {"StatsRegistry"}):
+            # By-value only: a pointer/reference member means the
+            # registry lives elsewhere.
+            tix = [t.text for t in m.type_tokens
+                   if t.kind == "punct" and t.text in ("*", "&")]
+            if not tix:
+                own.add(m.name)
+    return own
+
+
+def _registration_sites(entry):
+    """[(path, line, receiver_chain)] for group()/freshGroup() calls
+    with an explicit receiver in the class's methods."""
+    sites = []
+    for path, m in entry["methods"]:
+        body = m.body
+        for i, t in enumerate(body):
+            if t.kind == "id" and t.text in _REGISTER and \
+                    i + 1 < len(body) and body[i + 1].text == "(":
+                chain = receiver_chain(body, i)
+                if not chain:
+                    continue  # bare call (e.g. inside StatsRegistry)
+                sites.append((path, t.line, chain))
+    return sites
+
+
+def _removal_reachable(entry, cls_name):
+    """Is a removeGroup() call reachable from ~cls_name, directly or
+    through one level of member calls?"""
+    dtor = None
+    by_name = {}
+    for _path, m in entry["methods"]:
+        base = m.name.split("::")[-1]
+        by_name.setdefault(base, m)
+        if base == "~" + cls_name:
+            dtor = m
+    if dtor is None:
+        return False
+    def body_has_remove(m):
+        return any(t.kind == "id" and t.text == "removeGroup"
+                   for t in m.body)
+    if body_has_remove(dtor):
+        return True
+    for i, t in enumerate(dtor.body):
+        if t.kind == "id" and i + 1 < len(dtor.body) and \
+                dtor.body[i + 1].text == "(" and t.text in by_name:
+            if body_has_remove(by_name[t.text]):
+                return True
+    return False
+
+
+def check(unit):
+    findings = []
+    classes = _merge_classes(unit)
+    for name, entry in classes.items():
+        sites = _registration_sites(entry)
+        if not sites:
+            continue
+        own = _own_registry_members(entry)
+        external = []
+        for path, line, chain in sites:
+            # Own registry: single-step receiver naming a by-value
+            # StatsRegistry member (`stats.group("sim")` inside the
+            # class that declares `StatsRegistry stats;`).
+            if len(chain) == 1 and chain[0] in own:
+                continue
+            external.append((path, line, chain))
+        if not external:
+            continue
+        if _removal_reachable(entry, name):
+            continue
+        for path, line, chain in external:
+            findings.append(
+                (path, line, RULE_ID,
+                 "'%s' registers a stats group into an external "
+                 "registry ('%s') but no removeGroup() is reachable "
+                 "from ~%s; formulas capturing this object will "
+                 "dangle when it dies before the registry (see "
+                 "worklist.hh attachStats for the pattern)"
+                 % (name, ".".join(chain), name)))
+    return findings

@@ -1,0 +1,132 @@
+"""T1 `trace-format`: format strings must match argument counts.
+
+trace::print and the logging helpers are printf-family varargs. A
+spec/argument mismatch compiles silently when the call is forwarded
+through a macro layer without [[gnu::format]], reads garbage stack
+at runtime, and — because DPRINTF output feeds the trace JSON the
+determinism checks diff — turns a cosmetic bug into spurious
+nondeterminism. The shipped trace.hh carries [[gnu::format]] today;
+the rule keeps the property when calls are wrapped or the attribute
+is dropped (MSVC builds, refactors), and covers panic/fatal/warn,
+whose error paths are rarely executed under test.
+
+Checked call sites (format-string argument index in parentheses,
+0-based): DPRINTF(2), panic(0), fatal(0), warn(0), inform(0),
+panic_if(1), fatal_if(1), warn_if(1).
+
+Only calls whose format argument is entirely string literals
+(including adjacent-literal concatenation) are checked; a runtime
+format expression is skipped, not guessed at.
+"""
+
+from ..scan import split_args, string_value
+
+RULE_ID = "trace-format"
+
+DOC = ("DPRINTF/panic/fatal/warn format specifiers must match the "
+       "argument count")
+
+# macro name -> index of the format-string argument
+_FMT_CALLS = {
+    "DPRINTF": 2,
+    "panic": 0,
+    "fatal": 0,
+    "warn": 0,
+    "inform": 0,
+    "panic_if": 1,
+    "fatal_if": 1,
+    "warn_if": 1,
+}
+
+_CONVERSIONS = "diouxXeEfFgGaAcspn"
+_LENGTHS = "hljztL"
+
+
+def count_specs(fmt):
+    """Number of varargs a printf format string consumes, or None if
+    it contains a spec we don't understand (skip, don't guess)."""
+    count = 0
+    i = 0
+    n = len(fmt)
+    while i < n:
+        c = fmt[i]
+        if c != "%":
+            i += 1
+            continue
+        i += 1
+        if i < n and fmt[i] == "%":
+            i += 1
+            continue
+        # flags
+        while i < n and fmt[i] in "-+ #0'":
+            i += 1
+        # width
+        if i < n and fmt[i] == "*":
+            count += 1
+            i += 1
+        else:
+            while i < n and fmt[i].isdigit():
+                i += 1
+        # precision
+        if i < n and fmt[i] == ".":
+            i += 1
+            if i < n and fmt[i] == "*":
+                count += 1
+                i += 1
+            else:
+                while i < n and fmt[i].isdigit():
+                    i += 1
+        # length modifiers
+        while i < n and fmt[i] in _LENGTHS:
+            i += 1
+        if i >= n or fmt[i] not in _CONVERSIONS:
+            return None
+        count += 1
+        i += 1
+    return count
+
+
+def _literal_format(arg_tokens):
+    """If the argument is only string literals (adjacent
+    concatenation), return the joined contents; else None."""
+    if not arg_tokens:
+        return None
+    if all(t.kind == "str" for t in arg_tokens):
+        return "".join(string_value(t) for t in arg_tokens)
+    return None
+
+
+def check(unit):
+    findings = []
+    for model in unit:
+        toks = model.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in _FMT_CALLS:
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            # Skip the macro definitions themselves.
+            if i > 0 and toks[i - 1].kind == "id" and \
+                    toks[i - 1].text == "define":
+                continue
+            fmt_ix = _FMT_CALLS[t.text]
+            args, _close = split_args(toks, i + 1)
+            if len(args) <= fmt_ix:
+                continue  # malformed or macro-forwarded; skip
+            fmt = _literal_format(args[fmt_ix])
+            if fmt is None:
+                continue
+            specs = count_specs(fmt)
+            if specs is None:
+                continue
+            supplied = len(args) - fmt_ix - 1
+            if specs != supplied:
+                findings.append(
+                    (model.path, t.line, RULE_ID,
+                     "%s format string has %d conversion%s but %d "
+                     "argument%s %s supplied; mismatched varargs "
+                     "read garbage and poison the trace JSON"
+                     % (t.text, specs, "" if specs == 1 else "s",
+                        supplied, "" if supplied == 1 else "s",
+                        "is" if supplied == 1 else "are")))
+    return findings

@@ -1,0 +1,123 @@
+"""Shared token-scanning helpers used by the rule visitors."""
+
+
+def match_paren(tokens, i):
+    """tokens[i] is '('; index just past the matching ')'."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def calls(tokens, name):
+    """Indices i where tokens[i] is identifier `name` followed by '('
+    (a call or macro invocation)."""
+    out = []
+    for i in range(len(tokens) - 1):
+        t = tokens[i]
+        if t.kind == "id" and t.text == name and \
+                tokens[i + 1].kind == "punct" and \
+                tokens[i + 1].text == "(":
+            # Exclude declarations/definitions: a preceding '.'/'->'
+            # is definitely a call; a preceding type-ish id means a
+            # declaration like `void name(...)`. Keep it simple: only
+            # exclude when preceded by '~' (destructor decl).
+            if i > 0 and tokens[i - 1].kind == "punct" and \
+                    tokens[i - 1].text == "~":
+                continue
+            out.append(i)
+    return out
+
+
+def has_call(tokens, name):
+    return bool(calls(tokens, name))
+
+
+def receiver_chain(tokens, i):
+    """For a call at index i (tokens[i] is the method name id),
+    return the list of identifier texts forming the postfix receiver
+    chain, outermost first.
+
+    `machine_->stats.freshGroup(` at the `freshGroup` token returns
+    ['machine_', 'stats']; a bare call returns []. `(*x).y.f(` gives
+    up at the ')’ and returns what it saw (['y'])."""
+    chain = []
+    k = i - 1
+    while k > 0:
+        t = tokens[k]
+        if t.kind == "punct" and t.text in (".", "->"):
+            p = tokens[k - 1]
+            if p.kind == "id":
+                chain.append(p.text)
+                k -= 2
+                continue
+            if p.kind == "punct" and p.text in (")", "]"):
+                break  # complex receiver; stop with what we have
+            break
+        break
+    chain.reverse()
+    return chain
+
+
+def split_args(tokens, open_paren):
+    """tokens[open_paren] is '('; return (args, close_index) where
+    args is a list of token sublists split at top-level commas.
+    Tracks (), [], {} nesting (not <>, which is ambiguous)."""
+    args = []
+    cur = []
+    depth = 0
+    i = open_paren
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct" and t.text in ("(", "[", "{"):
+            depth += 1
+            if depth > 1:
+                cur.append(t)
+            i += 1
+            continue
+        if t.kind == "punct" and t.text in (")", "]", "}"):
+            depth -= 1
+            if depth == 0:
+                if cur:
+                    args.append(cur)
+                return args, i
+            cur.append(t)
+            i += 1
+            continue
+        if t.kind == "punct" and t.text == "," and depth == 1:
+            args.append(cur)
+            cur = []
+            i += 1
+            continue
+        if depth >= 1:
+            cur.append(t)
+        i += 1
+    return args, n
+
+
+def string_value(tok):
+    """Contents of a string-literal token (quotes stripped; raw
+    strings unwrapped; escape sequences left as-is, which is fine
+    for %-spec counting)."""
+    s = tok.text
+    if s.startswith('R"'):
+        op = s.index("(")
+        return s[op + 1:s.rindex(")")]
+    return s[1:-1]
+
+
+def type_mentions(type_tokens, names):
+    """True if any token in a declaration's type matches one of
+    `names` (a set of identifier texts)."""
+    return any(t.kind == "id" and t.text in names
+               for t in type_tokens)

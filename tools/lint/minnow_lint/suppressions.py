@@ -1,0 +1,94 @@
+"""LINT-OK suppression parsing and staleness tracking.
+
+Syntax (in a // or /* */ comment):
+
+    LINT-OK(rule-id): reason text
+
+A suppression silences findings of `rule-id` on the comment's own
+line and on the line immediately below it (so both trailing comments
+and comment-above-statement style work). Suppressions are themselves
+linted:
+
+  - an unknown rule id or a missing reason is a `bad-suppression`
+    finding,
+  - a suppression that silenced nothing is a `stale-suppression`
+    finding (dead suppressions rot into lies about the code).
+"""
+
+import re
+from dataclasses import dataclass, field
+
+_SUPPRESS_RE = re.compile(
+    r"LINT-OK\(\s*([A-Za-z0-9_-]*)\s*\)\s*(?::\s*(.*?))?\s*$",
+    re.MULTILINE)
+
+
+@dataclass
+class Suppression:
+    rule: str
+    reason: str
+    line: int
+    used: bool = False
+
+
+@dataclass
+class FileSuppressions:
+    path: str
+    entries: list = field(default_factory=list)
+    problems: list = field(default_factory=list)  # (line, rule, msg)
+
+
+def collect(path, comments, known_rules):
+    """Extract suppressions from a file's comments."""
+    fs = FileSuppressions(path=path)
+    for c in comments:
+        for m in _SUPPRESS_RE.finditer(c.text):
+            # Line offset inside multi-line /* */ comments.
+            line = c.line + c.text[:m.start()].count("\n")
+            rule = m.group(1)
+            reason = (m.group(2) or "").strip()
+            if rule not in known_rules:
+                fs.problems.append(
+                    (line, "bad-suppression",
+                     "LINT-OK names unknown rule '%s' (known: %s)"
+                     % (rule, ", ".join(sorted(known_rules)))))
+                continue
+            if not reason:
+                fs.problems.append(
+                    (line, "bad-suppression",
+                     "LINT-OK(%s) has no reason; write "
+                     "'LINT-OK(%s): why this is safe'"
+                     % (rule, rule)))
+                continue
+            fs.entries.append(
+                Suppression(rule=rule, reason=reason, line=line))
+    return fs
+
+
+def apply(fs, findings):
+    """Filter `findings` [(line, rule, msg)] through `fs`, marking
+    used suppressions. Returns the surviving findings."""
+    out = []
+    for line, rule, msg in findings:
+        hit = None
+        for s in fs.entries:
+            if s.rule == rule and s.line in (line, line - 1):
+                hit = s
+                break
+        if hit is not None:
+            hit.used = True
+        else:
+            out.append((line, rule, msg))
+    return out
+
+
+def stale(fs):
+    """[(line, rule, msg)] for unused suppressions + parse problems."""
+    out = list(fs.problems)
+    for s in fs.entries:
+        if not s.used:
+            out.append(
+                (s.line, "stale-suppression",
+                 "LINT-OK(%s) suppresses nothing here; delete it "
+                 "(reason was: %s)" % (s.rule, s.reason)))
+    return out

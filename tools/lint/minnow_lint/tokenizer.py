@@ -1,0 +1,198 @@
+"""C++ tokenizer for minnow-lint.
+
+Produces a stream of code tokens (identifiers, numbers, string/char
+literals, punctuators) plus a side list of comments and preprocessor
+directives. Line numbers are 1-based. The tokenizer understands:
+
+  - // and /* */ comments (multi-line),
+  - string, char, and raw string literals (R"delim(...)delim"),
+  - preprocessor lines including backslash continuations,
+  - multi-character punctuators (::, ->, ==, <=, +=, <<, ...).
+
+'>' is always emitted as a single-character token (never '>>') so
+template-argument scanning can match angle brackets without caring
+about the shift-operator ambiguity; '<<' IS combined since it never
+closes a template.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'char' | 'punct'
+    text: str
+    line: int
+
+
+@dataclass
+class Comment:
+    line: int  # line the comment starts on
+    text: str  # comment text without the // or /* */ fences
+
+
+@dataclass
+class PpLine:
+    line: int
+    text: str  # full directive text, continuations joined
+
+
+# Multi-char punctuators, longest first. '>>' deliberately absent.
+_PUNCTS = [
+    "<<=", "...", "->*", "::", "->", "++", "--", "==", "!=", "<=",
+    ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<<", ".*",
+]
+
+_ID_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+class TokenizeError(Exception):
+    pass
+
+
+def tokenize(text, path="<input>"):
+    """Return (tokens, comments, pp_lines) for C++ source `text`."""
+    tokens = []
+    comments = []
+    pp_lines = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor directive: '#' first non-ws on the line.
+        if c == "#" and at_line_start:
+            start_line = line
+            buf = []
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and \
+                        text[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    buf.append(" ")
+                    continue
+                if text[i] == "\n":
+                    break
+                buf.append(text[i])
+                i += 1
+            pp_lines.append(PpLine(start_line, "".join(buf)))
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start_line = line
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            comments.append(Comment(start_line, text[i + 2:j]))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start_line = line
+            j = text.find("*/", i + 2)
+            if j < 0:
+                raise TokenizeError(
+                    "%s:%d: unterminated block comment"
+                    % (path, start_line))
+            body = text[i + 2:j]
+            comments.append(Comment(start_line, body))
+            line += body.count("\n")
+            i = j + 2
+            continue
+
+        # Raw string literal: R"delim( ... )delim"  (with optional
+        # encoding prefix we don't distinguish).
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = text.find("(", i + 2)
+            if j < 0:
+                raise TokenizeError(
+                    "%s:%d: malformed raw string" % (path, line))
+            delim = text[i + 2:j]
+            endmark = ")" + delim + '"'
+            k = text.find(endmark, j + 1)
+            if k < 0:
+                raise TokenizeError(
+                    "%s:%d: unterminated raw string" % (path, line))
+            lit = text[i:k + len(endmark)]
+            tokens.append(Token("str", lit, line))
+            line += lit.count("\n")
+            i = k + len(endmark)
+            continue
+
+        # String / char literals.
+        if c == '"' or c == "'":
+            start_line = line
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == "\n":
+                    line += 1
+                if text[j] == quote:
+                    break
+                j += 1
+            if j >= n:
+                raise TokenizeError(
+                    "%s:%d: unterminated %s literal"
+                    % (path, start_line,
+                       "string" if quote == '"' else "char"))
+            tokens.append(
+                Token("str" if quote == '"' else "char",
+                      text[i:j + 1], start_line))
+            i = j + 1
+            continue
+
+        # Identifiers / keywords.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+
+        # Numbers (incl. hex, digit separators, suffixes, floats).
+        if c in _DIGITS or (c == "." and i + 1 < n and
+                            text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] == "." or
+                             (text[j] in "+-" and
+                              text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+
+        # Punctuators, longest match first.
+        matched = False
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                matched = True
+                break
+        if not matched:
+            tokens.append(Token("punct", c, line))
+            i += 1
+
+    return tokens, comments, pp_lines
