@@ -16,6 +16,19 @@
  * ...). The credit-sweep benches (18/19/20) additionally take
  * --credits-list=a,b to override the swept credit counts.
  *
+ * Offload round-trip knobs (applyOptions; see DESIGN.md section 5h):
+ *   --dequeue-batch=<k>  one engine round-trip returns up to k tasks
+ *                        (default 1: single-task calls, bit-for-bit
+ *                        with earlier builds).
+ *   --push-batch=<k>     buffer pushes/credit returns per core and
+ *                        flush k at a time (or on a deadline);
+ *                        default 1 sends each immediately.
+ *   --spec-slot          engine speculatively delivers the next task
+ *                        into a core-side slot so a hitting dequeue
+ *                        skips the round-trip entirely.
+ *   offload_breakdown additionally takes --batch-list=a,b and
+ *   --json=<path> (schema "minnow-offload-1").
+ *
  * Robustness knobs (also via applyOptions; see DESIGN.md "Fault
  * model"):
  *   --faults=<spec>   deterministic fault injection, e.g.

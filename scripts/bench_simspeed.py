@@ -13,6 +13,11 @@ Two measurements, both from binaries built in this tree:
     --host-profile, harvesting the "hostprof" stats group:
     events/sec, run() wall time, host-ns per component class and
     queue-occupancy percentiles.
+ 3. offload_breakdown's --dequeue-batch sweep: the engine round-trip
+    component split per batch size lands in the "offload" section,
+    and the run fails if k=4 bundling does not pull the worker
+    popWait P95 strictly below the k=1 value (the round-trip
+    amortization the batched-dequeue path exists for).
 
 --smoke runs a smaller workload point and only enforces a
 conservative >= 1.05x micro speedup (wired into ctest so sim-speed
@@ -113,6 +118,51 @@ def run_workload(fig, smoke):
             "hostprof": hp}
 
 
+def run_offload(offload, smoke):
+    """Sweep --dequeue-batch and gate on the popWait tail.
+
+    k=1 pops pay a full engine round-trip per task, so a meaningful
+    share of them wait >= one popWait histogram bucket; k=4 bundles
+    amortize the round-trip and must pull the P95 strictly below the
+    k=1 value on the same workload point.
+    """
+    scale = "0.05" if smoke else "0.1"
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "offload.json")
+        cmd = [
+            offload,
+            "--workloads=sssp",
+            f"--scale={scale}",
+            "--threads=4",
+            "--cores=4",
+            "--seed=42",
+            "--batch-list=1,2,4,8",
+            f"--json={out}",
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=1800)
+        if proc.returncode != 0:
+            fail(f"offload_breakdown exited {proc.returncode}:"
+                 f"\n{proc.stdout}\n{proc.stderr}")
+        with open(out) as f:
+            doc = json.load(f)
+    points = {p["batch"]: p for p in doc.get("points", [])}
+    k1, k4 = points.get(1), points.get(4)
+    if not k1 or not k4:
+        fail("offload_breakdown output missing the k=1/k=4 points")
+    for p in (k1, k4):
+        if p["timedOut"]:
+            fail(f"offload point k={p['batch']} timed out")
+    if k4["popWaitP95"] >= k1["popWaitP95"]:
+        fail(f"dequeue batching regression: k=4 popWaitP95"
+             f" {k4['popWaitP95']} not below k=1's"
+             f" {k1['popWaitP95']}")
+    return {"bench": os.path.basename(offload),
+            "args": " ".join(cmd[1:-1]),
+            "workload": doc.get("workload"),
+            "points": doc.get("points", [])}
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default=None)
@@ -120,6 +170,8 @@ def main():
                     help="path to micro_substrate")
     ap.add_argument("--fig", default=None,
                     help="path to fig18_mpki_credits")
+    ap.add_argument("--offload", default=None,
+                    help="path to offload_breakdown")
     ap.add_argument("--out", default="BENCH_simspeed.json")
     ap.add_argument("--smoke", action="store_true",
                     help="small workload, conservative threshold")
@@ -129,9 +181,12 @@ def main():
 
     micro = find_binary(args, args.micro, "bench/micro_substrate")
     fig = find_binary(args, args.fig, "bench/fig18_mpki_credits")
+    offload = find_binary(args, args.offload,
+                          "bench/offload_breakdown")
 
     micro_res = run_micro(micro)
     workload_res = run_workload(fig, args.smoke)
+    offload_res = run_offload(offload, args.smoke)
 
     bar = args.min_speedup
     if bar is None:
@@ -146,6 +201,7 @@ def main():
         },
         "micro": micro_res,
         "workload": workload_res,
+        "offload": offload_res,
         "minSpeedup": bar,
     }
     with open(args.out, "w") as f:
@@ -153,11 +209,14 @@ def main():
         f.write("\n")
 
     hp = workload_res["hostprof"]
+    opts = {p["batch"]: p for p in offload_res["points"]}
     print(f"bench_simspeed: wheel {micro_res['wheelEventsPerSec']:.3e}"
           f" ev/s vs heap {micro_res['heapEventsPerSec']:.3e} ev/s"
           f" -> {micro_res['speedup']:.2f}x"
           f" | workload {hp.get('eventsPerSec', 0):.3e} ev/s"
           f" ({int(hp.get('events', 0))} events)"
+          f" | popWaitP95 k=1 {opts[1]['popWaitP95']:.0f}"
+          f" -> k=4 {opts[4]['popWaitP95']:.0f}"
           f" | wrote {args.out}")
 
     if micro_res["speedup"] < bar:

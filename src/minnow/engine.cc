@@ -145,6 +145,7 @@ MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
     creditWaiters_.reserve(params_.prefetchCredits);
     pendingPrefetch_.reserve(params_.localQueueEntries);
     blockedWorkers_.reserve(8);
+    pushBufs_.resize(std::max(1u, params_.coresPerEngine));
 
     registerStats();
 
@@ -291,8 +292,36 @@ MinnowEngine::registerStats()
           " injection", &EngineStats::prefetchDropped);
     count("creditsLost", "credit returns lost to fault injection",
           &EngineStats::creditsLost);
+    count("dequeueBundleTasks", "tasks returned in dequeue bundles",
+          &EngineStats::dequeueBundleTasks);
+    count("pushFlushes", "buffered push-batch flushes",
+          &EngineStats::pushFlushes);
+    count("pushedBatched", "tasks moved by buffered push flushes",
+          &EngineStats::pushedBatched);
+    count("creditFlushes", "buffered credit-return flushes",
+          &EngineStats::creditFlushes);
+    count("creditsBatched", "credit returns coalesced into batches",
+          &EngineStats::creditsBatched);
+    count("creditHandoffs", "credit returns handed straight to a"
+          " waiter", &EngineStats::creditHandoffs);
+    count("specDeposits", "speculative task deliveries launched"
+          " (each ends as a specHit or a specReclaim)",
+          &EngineStats::specDeposits);
+    count("specHits", "dequeues served by the core-side spec slot",
+          &EngineStats::specHits);
+    count("specReclaims", "spec-slot tasks reclaimed to the global"
+          " queue", &EngineStats::specReclaims);
     g.formula("cuBusyCycles", "control-unit busy cycles",
               [this] { return double(stats_.cuBusyCycles); });
+    g.formula("dqDoorbellCycles",
+              "dequeue core->engine doorbell cycles",
+              [this] { return double(stats_.dqDoorbellCycles); });
+    g.formula("dqWaitCycles",
+              "dequeue cycles parked waiting for a task",
+              [this] { return double(stats_.dqWaitCycles); });
+    g.formula("dqDeliverCycles",
+              "dequeue engine->core delivery cycles",
+              [this] { return double(stats_.dqDeliverCycles); });
     g.formula("dequeueLocalHitRate",
               "fraction of dequeues served without blocking",
               [this] {
@@ -309,6 +338,18 @@ MinnowEngine::registerStats()
     dequeueLatencyHist_ = &g.histogram(
         "dequeueLatency", "cycles from dequeue call to task delivery",
         16, 32);
+    g.formula("dequeueLatencyP50", "median dequeue latency",
+              [this] {
+                  return double(dequeueLatencyHist_->percentile(0.50));
+              });
+    g.formula("dequeueLatencyP95", "95th-percentile dequeue latency",
+              [this] {
+                  return double(dequeueLatencyHist_->percentile(0.95));
+              });
+    g.formula("dequeueLatencyP99", "99th-percentile dequeue latency",
+              [this] {
+                  return double(dequeueLatencyHist_->percentile(0.99));
+              });
     std::uint32_t occWidth =
         std::max(1u, params_.threadletQueueEntries / 16);
     threadletOccupancyHist_ = &g.histogram(
@@ -401,12 +442,32 @@ MinnowEngine::creditReturn(bool used)
     // Injected credit starvation: the return message is lost and the
     // pool shrinks until the fault window closes. Waiting threadlets
     // stay parked; prefetching degrades, the worklist path (its own
-    // virtual-queue share) is untouched.
+    // virtual-queue share) is untouched. The fault draw stays here,
+    // per return and before batching, so the injector's RNG stream
+    // is identical at every --push-batch setting.
     if (machine_->faults &&
         machine_->faults->swallowCreditReturn(core_)) {
         stats_.creditsLost += 1;
         return;
     }
+    if (params_.pushBatch > 1) {
+        creditPending_ += 1;
+        stats_.creditsBatched += 1;
+        if (creditPending_ >= params_.pushBatch) {
+            flushCredits();
+        } else if (!creditDeadlineArmed_) {
+            creditDeadlineArmed_ = true;
+            adoptThreadlet(creditDeadline(
+                creditSeq_, machine_->eq.now() + pushFlushCycles()));
+        }
+        return;
+    }
+    creditDeliver(used);
+}
+
+void
+MinnowEngine::creditDeliver(bool used)
+{
     DPRINTF(Credit, "credit", "[%u] return (%s), free=%u waiters=%zu",
             core_, used ? "used" : "unused", creditsFree_,
             creditWaiters_.size());
@@ -415,12 +476,47 @@ MinnowEngine::creditReturn(bool used)
         std::coroutine_handle<> h = creditWaiters_.front();
         creditWaiters_.pop_front();
         machine_->eq.schedule(machine_->eq.now(), h);
+        stats_.creditHandoffs += 1;
+        // A direct handoff never touches creditsFree_, so the
+        // credits counter track's change detection (tlCredits)
+        // cannot see it; emit an explicit spike plus an instant so
+        // handoffs show up in the Perfetto credits track.
+        if (machine_->timeline) {
+            Cycle now = machine_->eq.now();
+            machine_->timeline->counter(tlCreditTrack_, now,
+                                        double(creditsFree_) + 1.0);
+            machine_->timeline->counter(tlCreditTrack_, now,
+                                        double(creditsFree_));
+            machine_->timeline->instant(
+                tlEngine_, timeline::Name::CreditHandoff, now);
+        }
     } else {
         creditsFree_ += 1;
         panic_if(creditsFree_ > params_.prefetchCredits,
                  "credit pool overflow");
     }
     tlCredits();
+}
+
+void
+MinnowEngine::flushCredits()
+{
+    creditSeq_ += 1; // cancels any armed deadline flush.
+    creditDeadlineArmed_ = false;
+    stats_.creditFlushes += 1;
+    std::uint32_t n = creditPending_;
+    creditPending_ = 0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        creditDeliver(false);
+}
+
+CoTask<void>
+MinnowEngine::creditDeadline(std::uint64_t seq, Cycle when)
+{
+    co_await WaitAt{&machine_->eq, when};
+    if (creditSeq_ != seq)
+        co_return; // a size-triggered flush beat us.
+    flushCredits();
 }
 
 void
@@ -540,7 +636,7 @@ MinnowEngine::insertLocal(WorkItem item)
 }
 
 WorkItem
-MinnowEngine::popLocal()
+MinnowEngine::popLocalRaw()
 {
     HostProfScope hp(HostClass::Engine);
     panic_if(localQ_.empty(), "pop from empty local queue");
@@ -553,13 +649,20 @@ MinnowEngine::popLocal()
         pendingPrefetch_.pop_front();
         stats_.prefetchCancelled += 1;
     }
-    machine_->monitor.takeWork(1, false);
     tryPendingPrefetch();
     if (localQ_.empty())
         localBucket_ = MinnowGlobalQueue::kNoBucket;
     // Always nudge: besides refills, the daemon also reevaluates
     // its work-sharing condition on every pop.
     nudgeDaemon();
+    return item;
+}
+
+WorkItem
+MinnowEngine::popLocal()
+{
+    WorkItem item = popLocalRaw();
+    machine_->monitor.takeWork(1, false);
     return item;
 }
 
@@ -575,6 +678,9 @@ MinnowEngine::deliverToBlocked()
             machine_->eq.now() + params_.localQueueLatency,
             w.handle);
     }
+    // Any local-queue surplus beyond the blocked workers can ride
+    // ahead into free core-side slots (no-op unless --spec-slot).
+    trySpecDeposit();
 }
 
 void
@@ -585,6 +691,88 @@ MinnowEngine::nudgeDaemon()
             std::exchange(parkedDaemon_, nullptr);
         machine_->eq.schedule(machine_->eq.now(), h);
     }
+}
+
+// ---- Speculative next-task delivery (--spec-slot) ----
+
+void
+MinnowEngine::trySpecDeposit()
+{
+    if (!params_.specSlot || spec_.empty() || faulted() ||
+        !blockedWorkers_.empty())
+        return;
+    std::uint32_t n = std::uint32_t(spec_.size());
+    for (std::uint32_t i = 0; i < n && !localQ_.empty(); ++i) {
+        std::uint32_t idx = (specNext_ + i) % n;
+        if (spec_[idx].inFlight ||
+            machine_->cores[core_ + idx]->specSlot().valid)
+            continue;
+        // The task stays pending (non-stealable) in the monitor
+        // until the slot is consumed, so termination cannot fire
+        // while it is in flight.
+        WorkItem item = popLocalRaw();
+        spec_[idx].inFlight = true;
+        std::uint64_t seq = ++spec_[idx].seq;
+        specNext_ = (idx + 1) % n;
+        // Counted at launch so the conservation invariant
+        // (specDeposits == specHits + specReclaims) covers deposits
+        // invalidated mid-flight too.
+        stats_.specDeposits += 1;
+        adoptThreadlet(specDepositTask(idx, item, seq));
+    }
+}
+
+CoTask<void>
+MinnowEngine::specDepositTask(std::uint32_t idx, WorkItem item,
+                              std::uint64_t seq)
+{
+    co_await WaitAt{&machine_->eq,
+                    machine_->eq.now() + params_.localQueueLatency};
+    spec_[idx].inFlight = false;
+    if (faulted() || spec_[idx].seq != seq) {
+        // Rescue/kill invalidated us mid-flight: the task goes to
+        // the global queue with the rest of the rescued work.
+        global_->pushInitial(item);
+        stats_.specReclaims += 1;
+        machine_->monitor.transferWork(1, true);
+        if (machine_->timeline) {
+            machine_->timeline->instant(tlEngine_,
+                                        timeline::Name::SpecReclaim,
+                                        machine_->eq.now());
+        }
+        co_return;
+    }
+    if (!blockedWorkers_.empty()) {
+        // A worker parked while the deposit was in flight. Landing
+        // in the slot now would strand both (the worker blocks
+        // engine-side, the task sits core-side); deliver directly,
+        // like deliverToBlocked does. The delivery did its job, so
+        // it counts as a hit.
+        BlockedWorker w = blockedWorkers_.front();
+        blockedWorkers_.pop_front();
+        *w.slot = item;
+        stats_.specHits += 1;
+        machine_->monitor.takeWork(1, false);
+        machine_->monitor.exitIdle();
+        machine_->eq.schedule(
+            machine_->eq.now() + params_.localQueueLatency,
+            w.handle);
+        co_return;
+    }
+    machine_->cores[core_ + idx]->specDeposit(seq, item.priority,
+                                              item.payload);
+    if (machine_->timeline) {
+        machine_->timeline->instant(tlEngine_,
+                                    timeline::Name::SpecDeposit,
+                                    machine_->eq.now());
+    }
+}
+
+CoTask<void>
+MinnowEngine::specConsumedTask(Cycle when)
+{
+    co_await WaitAt{&machine_->eq, when};
+    trySpecDeposit();
 }
 
 void
@@ -678,6 +866,9 @@ MinnowEngine::injectStall(Cycle dur)
 void
 MinnowEngine::rescueLocalTasks()
 {
+    // Drain-to-empty on every source makes this idempotent: a
+    // second invocation (overlapping stall + kill) finds everything
+    // empty and touches neither stats nor monitor accounting.
     std::uint64_t n = 0;
     while (!localQ_.empty()) {
         global_->pushInitial(localQ_.front());
@@ -688,6 +879,36 @@ MinnowEngine::rescueLocalTasks()
         global_->pushInitial(spillBuf_.front());
         spillBuf_.pop_front();
         ++n;
+    }
+    // Buffered pushes (--push-batch) were booked pending-private at
+    // their call sites; route them with the rest of the queue.
+    for (PushBuf &pb : pushBufs_) {
+        pb.seq += 1; // cancels any armed deadline flush.
+        pb.deadlineArmed = false;
+        for (const WorkItem &item : pb.items) {
+            global_->pushInitial(item);
+            ++n;
+        }
+        pb.items.clear();
+    }
+    // Spec slots (--spec-slot): reclaim deposited tasks and
+    // invalidate in-flight deposits (those reclaim themselves on
+    // arrival when they see the bumped sequence).
+    for (std::uint32_t i = 0; i < std::uint32_t(spec_.size()); ++i) {
+        spec_[i].seq += 1;
+        cpu::OooCore &oc = *machine_->cores[core_ + i];
+        if (oc.specSlot().valid) {
+            const cpu::SpecTaskSlot &s = oc.specSlot();
+            global_->pushInitial(WorkItem{s.priority, s.payload});
+            oc.specInvalidate();
+            stats_.specReclaims += 1;
+            ++n;
+            if (machine_->timeline) {
+                machine_->timeline->instant(
+                    tlEngine_, timeline::Name::SpecReclaim,
+                    machine_->eq.now());
+            }
+        }
     }
     localBucket_ = MinnowGlobalQueue::kNoBucket;
     // Queued prefetch requests refer to tasks this engine no longer
@@ -746,10 +967,102 @@ MinnowEngine::enqueue(SimContext &ctx, WorkItem item)
     stats_.enqueues += 1;
     ctx.compute(2);
     machine_->monitor.addWork(1, false);
+    if (params_.pushBatch > 1) {
+        // Coalesce into the per-core buffer; the flush (on size or
+        // deadline) moves the whole batch in one engine message.
+        bufferPush(ctx.id(), item);
+        co_await ctx.sync();
+        co_return;
+    }
     Cycle arrive = std::max(ctx.now() + params_.localQueueLatency,
                             machine_->eq.now());
     adoptThreadlet(enqueueArrival(item, arrive));
     co_await ctx.sync();
+}
+
+void
+MinnowEngine::bufferPush(CoreId c, WorkItem item)
+{
+    PushBuf &pb = pushBufs_[pushIdx(c)];
+    pb.items.push_back(item);
+    if (pb.items.size() >= params_.pushBatch) {
+        flushPushBuf(c);
+        return;
+    }
+    if (!pb.deadlineArmed) {
+        pb.deadlineArmed = true;
+        adoptThreadlet(pushDeadline(
+            pushIdx(c), pb.seq,
+            machine_->eq.now() + pushFlushCycles()));
+    }
+}
+
+void
+MinnowEngine::flushPushBuf(CoreId c)
+{
+    if (pushBufs_.empty())
+        return;
+    PushBuf &pb = pushBufs_[pushIdx(c)];
+    if (pb.items.empty())
+        return;
+    pb.seq += 1; // cancels any armed deadline flush.
+    pb.deadlineArmed = false;
+    stats_.pushFlushes += 1;
+    stats_.pushedBatched += pb.items.size();
+    Cycle arrive = machine_->eq.now() + params_.localQueueLatency;
+    std::vector<WorkItem> items;
+    items.swap(pb.items);
+    adoptThreadlet(enqueueArrivalBatch(std::move(items), arrive));
+}
+
+CoTask<void>
+MinnowEngine::pushDeadline(std::uint32_t idx, std::uint64_t seq,
+                           Cycle when)
+{
+    co_await WaitAt{&machine_->eq, when};
+    if (pushBufs_[idx].seq != seq)
+        co_return; // a size-triggered flush beat us.
+    flushPushBuf(core_ + idx);
+}
+
+CoTask<void>
+MinnowEngine::enqueueArrivalBatch(std::vector<WorkItem> items,
+                                  Cycle when)
+{
+    co_await WaitAt{&machine_->eq, when};
+    if (faulted()) {
+        // Same routing as the single-item arrival: the tasks were
+        // booked pending-private; making them stealable in the
+        // global queue keeps the accounting exact.
+        global_->pushInitialBatch(items);
+        stats_.tasksRescued += items.size();
+        machine_->monitor.transferWork(items.size(), true);
+        co_return;
+    }
+    bool spilled = false;
+    for (const WorkItem &item : items) {
+        std::int64_t bucket = global_->bucketOf(item);
+        bool acceptLocal =
+            localQ_.size() + localReserved_ <
+                params_.localQueueEntries &&
+            (localQ_.empty() || bucket <= localBucket_);
+        if (acceptLocal) {
+            if (localQ_.empty() || bucket < localBucket_)
+                localBucket_ = bucket;
+            insertLocal(item);
+        } else {
+            stats_.spillsSpawned += 1;
+            spillBuf_.push_back(item);
+            spilled = true;
+        }
+    }
+    deliverToBlocked();
+    if (spilled && !spillDrainActive_) {
+        spillDrainActive_ = true;
+        co_await PoolAcquire{&threadletSlotsFree_,
+                             &threadletSlotWaiters_, nullptr};
+        adoptThreadlet(spillDrainThreadlet());
+    }
 }
 
 CoTask<void>
@@ -822,16 +1135,65 @@ MinnowEngine::spillDrainThreadlet()
     releaseThreadletSlot();
 }
 
+namespace
+{
+
+/** Park a worker in the engine's blocked queue until delivery. */
+struct BlockAwait
+{
+    MinnowEngine *eng;
+    std::optional<WorkItem> *slot;
+    void (*park)(MinnowEngine *, std::coroutine_handle<>,
+                 std::optional<WorkItem> *);
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        park(eng, h, slot);
+    }
+
+    void await_resume() const {}
+};
+
+} // anonymous namespace
+
 CoTask<std::optional<WorkItem>>
 MinnowEngine::dequeue(SimContext &ctx)
 {
     PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    // Fence: buffered pushes must reach the engine before the pop
+    // doorbell, or a core's own just-pushed task could be invisible
+    // to its dequeue (no-op unless --push-batch buffered anything).
+    flushPushBuf(ctx.id());
+    // Speculative slot (--spec-slot): the engine may have deposited
+    // the next task core-side already — then the pop is a handful
+    // of local instructions, no engine round-trip at all.
+    if (params_.specSlot && ctx.core().specSlot().valid) {
+        const cpu::SpecTaskSlot &s = ctx.core().specSlot();
+        WorkItem item{s.priority, s.payload};
+        ctx.core().specInvalidate();
+        stats_.dequeues += 1;
+        stats_.specHits += 1;
+        machine_->monitor.takeWork(1, false);
+        ctx.compute(2);
+        Cycle specStart = ctx.now();
+        co_await ctx.sync();
+        dequeueLatencyHist_->sample(ctx.now() - specStart);
+        // Slot-free notification travels back off the critical path;
+        // the engine refills the slot when it lands.
+        adoptThreadlet(specConsumedTask(
+            machine_->eq.now() + params_.localQueueLatency));
+        co_return item;
+    }
     stats_.dequeues += 1;
     ctx.compute(1);
     Cycle dqStart = ctx.now();
     Cycle t = ctx.now() + params_.localQueueLatency;
     co_await ctx.waitUntil(t);
     ctx.core().idleUntil(machine_->eq.now());
+    stats_.dqDoorbellCycles += params_.localQueueLatency;
 
     if (faulted()) {
         // Killed or stalled engine: degrade to the software
@@ -845,6 +1207,24 @@ MinnowEngine::dequeue(SimContext &ctx)
         DPRINTF(Engine, "engine", "[%u] dequeue hit payload=%llu",
                 core_, (unsigned long long)item.payload);
         dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        trySpecDeposit();
+        co_return item;
+    }
+    if (params_.specSlot && ctx.core().specSlot().valid) {
+        // A deposit landed while our pop doorbell was in flight (the
+        // core checked the slot before sending it). Consume it here
+        // instead of parking — parking would strand both the task
+        // (core-side, valid) and the worker (engine-side, blocked).
+        const cpu::SpecTaskSlot &s = ctx.core().specSlot();
+        WorkItem item{s.priority, s.payload};
+        ctx.core().specInvalidate();
+        stats_.specHits += 1;
+        machine_->monitor.takeWork(1, false);
+        co_await ctx.waitUntil(machine_->eq.now() +
+                               params_.localQueueLatency);
+        ctx.core().idleUntil(machine_->eq.now());
+        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        stats_.dqDeliverCycles += params_.localQueueLatency;
         co_return item;
     }
     DPRINTF(Engine, "engine", "[%u] dequeue blocks", core_);
@@ -859,24 +1239,13 @@ MinnowEngine::dequeue(SimContext &ctx)
         co_return std::nullopt;
     nudgeDaemon();
 
-    struct BlockAwait
-    {
-        MinnowEngine *eng;
-        std::optional<WorkItem> *slot;
-
-        bool await_ready() const { return false; }
-
-        void
-        await_suspend(std::coroutine_handle<> h)
-        {
-            eng->blockedWorkers_.push_back({h, slot});
-        }
-
-        void await_resume() const {}
-    };
-
     std::optional<WorkItem> slot;
-    co_await BlockAwait{this, &slot};
+    co_await BlockAwait{this, &slot,
+                        [](MinnowEngine *eng,
+                           std::coroutine_handle<> h,
+                           std::optional<WorkItem> *s) {
+                            eng->blockedWorkers_.push_back({h, s});
+                        }};
     ctx.core().idleUntil(machine_->eq.now());
     if (!slot && !machine_->monitor.terminated()) {
         // Released by fault injection, not termination: this worker
@@ -884,9 +1253,129 @@ MinnowEngine::dequeue(SimContext &ctx)
         machine_->monitor.exitIdle();
         co_return co_await dequeueFallback(ctx, dqStart);
     }
-    if (slot)
-        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+    if (slot) {
+        Cycle total = machine_->eq.now() - dqStart;
+        dequeueLatencyHist_->sample(total);
+        stats_.dqDeliverCycles += params_.localQueueLatency;
+        if (total >= 2 * Cycle(params_.localQueueLatency))
+            stats_.dqWaitCycles +=
+                total - 2 * Cycle(params_.localQueueLatency);
+    }
     co_return slot;
+}
+
+CoTask<std::uint32_t>
+MinnowEngine::dequeueBatch(SimContext &ctx,
+                           std::vector<WorkItem> &out,
+                           std::uint32_t max)
+{
+    PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    if (max == 0)
+        max = 1;
+    flushPushBuf(ctx.id()); // same fence as dequeue().
+    if (params_.specSlot && ctx.core().specSlot().valid) {
+        const cpu::SpecTaskSlot &s = ctx.core().specSlot();
+        WorkItem item{s.priority, s.payload};
+        ctx.core().specInvalidate();
+        stats_.dequeues += 1;
+        stats_.specHits += 1;
+        machine_->monitor.takeWork(1, false);
+        ctx.compute(2);
+        Cycle specStart = ctx.now();
+        co_await ctx.sync();
+        dequeueLatencyHist_->sample(ctx.now() - specStart);
+        adoptThreadlet(specConsumedTask(
+            machine_->eq.now() + params_.localQueueLatency));
+        out.push_back(item);
+        co_return 1;
+    }
+    stats_.dequeues += 1;
+    ctx.compute(1);
+    Cycle dqStart = ctx.now();
+    co_await ctx.waitUntil(dqStart + params_.localQueueLatency);
+    ctx.core().idleUntil(machine_->eq.now());
+    stats_.dqDoorbellCycles += params_.localQueueLatency;
+
+    if (faulted()) {
+        std::optional<WorkItem> one =
+            co_await dequeueFallback(ctx, dqStart);
+        if (!one)
+            co_return 0;
+        out.push_back(*one);
+        co_return 1;
+    }
+
+    if (!localQ_.empty()) {
+        // One round-trip, up to max tasks off the local-queue head.
+        stats_.dequeueLocalHits += 1;
+        std::uint32_t got = 0;
+        while (got < max && !localQ_.empty()) {
+            out.push_back(popLocal());
+            ++got;
+        }
+        stats_.dequeueBundleTasks += got;
+        DPRINTF(Engine, "engine", "[%u] dequeue bundle n=%u",
+                core_, got);
+        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        trySpecDeposit();
+        co_return got;
+    }
+    if (params_.specSlot && ctx.core().specSlot().valid) {
+        // Same doorbell/deposit race as dequeue(): consume the slot
+        // rather than parking under a valid deposit.
+        const cpu::SpecTaskSlot &s = ctx.core().specSlot();
+        WorkItem item{s.priority, s.payload};
+        ctx.core().specInvalidate();
+        stats_.specHits += 1;
+        machine_->monitor.takeWork(1, false);
+        co_await ctx.waitUntil(machine_->eq.now() +
+                               params_.localQueueLatency);
+        ctx.core().idleUntil(machine_->eq.now());
+        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        stats_.dqDeliverCycles += params_.localQueueLatency;
+        out.push_back(item);
+        stats_.dequeueBundleTasks += 1;
+        co_return 1;
+    }
+    DPRINTF(Engine, "engine", "[%u] dequeue blocks", core_);
+    if (machine_->monitor.terminated())
+        co_return 0;
+
+    stats_.dequeueBlocks += 1;
+    ctx.core().setPhase(cpu::Phase::Idle);
+    machine_->monitor.enterIdle();
+    if (machine_->monitor.terminated())
+        co_return 0;
+    nudgeDaemon();
+
+    std::optional<WorkItem> slot;
+    co_await BlockAwait{this, &slot,
+                        [](MinnowEngine *eng,
+                           std::coroutine_handle<> h,
+                           std::optional<WorkItem> *s) {
+                            eng->blockedWorkers_.push_back({h, s});
+                        }};
+    ctx.core().idleUntil(machine_->eq.now());
+    if (!slot && !machine_->monitor.terminated()) {
+        machine_->monitor.exitIdle();
+        std::optional<WorkItem> one =
+            co_await dequeueFallback(ctx, dqStart);
+        if (!one)
+            co_return 0;
+        out.push_back(*one);
+        co_return 1;
+    }
+    if (!slot)
+        co_return 0;
+    Cycle total = machine_->eq.now() - dqStart;
+    dequeueLatencyHist_->sample(total);
+    stats_.dqDeliverCycles += params_.localQueueLatency;
+    if (total >= 2 * Cycle(params_.localQueueLatency))
+        stats_.dqWaitCycles +=
+            total - 2 * Cycle(params_.localQueueLatency);
+    out.push_back(*slot);
+    stats_.dequeueBundleTasks += 1;
+    co_return 1;
 }
 
 CoTask<std::optional<WorkItem>>
@@ -935,6 +1424,7 @@ CoTask<void>
 MinnowEngine::flush(SimContext &ctx)
 {
     PhaseGuard guard(ctx, cpu::Phase::Worklist);
+    flushPushBuf(ctx.id()); // buffered pushes spill with the rest.
     co_await ctx.waitUntil(ctx.now() + params_.localQueueLatency);
     ctx.core().idleUntil(machine_->eq.now());
     while (!localQ_.empty()) {

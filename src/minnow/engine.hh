@@ -119,6 +119,25 @@ struct EngineStats
     std::uint64_t fallbackPops = 0;    //!< software-path dequeues.
     std::uint64_t prefetchDropped = 0; //!< injected prefetch drops.
     std::uint64_t creditsLost = 0;     //!< injected lost returns.
+
+    // Round-trip batching (--dequeue-batch / --push-batch) and the
+    // speculative core-side slot (--spec-slot).
+    std::uint64_t dequeueBundleTasks = 0; //!< tasks in pop bundles.
+    std::uint64_t pushFlushes = 0;    //!< buffered push flushes.
+    std::uint64_t pushedBatched = 0;  //!< tasks those flushes moved.
+    std::uint64_t creditFlushes = 0;  //!< buffered credit flushes.
+    std::uint64_t creditsBatched = 0; //!< credit returns coalesced.
+    std::uint64_t creditHandoffs = 0; //!< returns given to a waiter.
+    std::uint64_t specDeposits = 0;   //!< spec deliveries launched.
+    std::uint64_t specHits = 0;       //!< pops served by deliveries.
+    std::uint64_t specReclaims = 0;   //!< deliveries reclaimed.
+
+    // Dequeue round-trip cycle split (bench/offload_breakdown). No
+    // separate NoC hop is modeled on the core<->engine path; the
+    // doorbell/delivery legs are the localQueueLatency hops.
+    Cycle dqDoorbellCycles = 0; //!< core->engine call legs.
+    Cycle dqWaitCycles = 0;     //!< parked waiting for a task.
+    Cycle dqDeliverCycles = 0;  //!< engine->core delivery legs.
 };
 
 /** One per-core Minnow engine. */
@@ -148,6 +167,17 @@ class MinnowEngine
     runtime::CoTask<std::optional<WorkItem>>
     dequeue(runtime::SimContext &ctx);
 
+    /**
+     * minnow_dequeue with bundling (--dequeue-batch): pop up to
+     * @p max tasks in one core<->engine round-trip, appended to
+     * @p out. The bundle is drawn from the local-queue head, so it
+     * carries the same one-bucket priority slack a chunked OBIM
+     * has. Returns the bundle size; 0 means global termination.
+     */
+    runtime::CoTask<std::uint32_t>
+    dequeueBatch(runtime::SimContext &ctx, std::vector<WorkItem> &out,
+                 std::uint32_t max);
+
     /** minnow_flush: spill the whole local queue (context switch). */
     runtime::CoTask<void> flush(runtime::SimContext &ctx);
 
@@ -163,6 +193,20 @@ class MinnowEngine
 
     /** Start the background fill daemon threadlet. */
     void startDaemon();
+
+    /**
+     * Tell the engine how many of its attached cores actually run
+     * workers (the last shared engine may be partial). This enables
+     * the --spec-slot deposit path: without it the engine never
+     * deposits, so a task cannot land in the slot of a core no
+     * worker will ever pop. Called by MinnowSystem before the run.
+     */
+    void
+    setActiveCores(std::uint32_t n)
+    {
+        spec_.assign(n, SpecState{});
+        specNext_ = 0;
+    }
 
     /** Termination hook: release a blocked core with nullopt. */
     void onTerminate();
@@ -253,6 +297,14 @@ class MinnowEngine
     /** Pop the local queue head (front-end FSM). */
     WorkItem popLocal();
 
+    /**
+     * popLocal without the monitor take: spec-slot deposits keep
+     * their task pending (non-stealable) until a core consumes it,
+     * so a deposit in flight can never let the run terminate under
+     * it.
+     */
+    WorkItem popLocalRaw();
+
     /** Hand a task to a core blocked in dequeue. */
     void deliverToBlocked();
 
@@ -292,6 +344,58 @@ class MinnowEngine
 
     /** Front-end FSM: enqueue decision at accelerator-call arrival. */
     runtime::CoTask<void> enqueueArrival(WorkItem item, Cycle when);
+
+    // ---- Push/credit-return coalescing (--push-batch > 1) ----
+
+    /** Cycles a partially-filled push buffer may age before flush. */
+    Cycle
+    pushFlushCycles() const
+    {
+        return Cycle(4) * params_.localQueueLatency;
+    }
+
+    /** Push-buffer index of worker core @p c (shared engines). */
+    std::uint32_t pushIdx(CoreId c) const { return c - core_; }
+
+    /** Buffer one push; flush on size, else arm the deadline. */
+    void bufferPush(CoreId c, WorkItem item);
+
+    /** Flush core @p c's push buffer to the engine front-end. */
+    void flushPushBuf(CoreId c);
+
+    /** One-shot deadline flush for an aging push buffer. */
+    runtime::CoTask<void> pushDeadline(std::uint32_t idx,
+                                       std::uint64_t seq, Cycle when);
+
+    /** Batched front-end arrival: the whole buffer in one message. */
+    runtime::CoTask<void>
+    enqueueArrivalBatch(std::vector<WorkItem> items, Cycle when);
+
+    /** Deliver all batched credit returns to the pool/waiters. */
+    void flushCredits();
+
+    /** One-shot deadline flush for aging batched credits. */
+    runtime::CoTask<void> creditDeadline(std::uint64_t seq,
+                                         Cycle when);
+
+    /**
+     * Deliver one credit: hand it to a parked waiter or return it
+     * to the pool, emitting the counter/handoff instrumentation.
+     */
+    void creditDeliver(bool used);
+
+    // ---- Speculative next-task delivery (--spec-slot) ----
+
+    /** Deposit local-queue heads into free attached-core slots. */
+    void trySpecDeposit();
+
+    /** In-flight deposit: lands in the slot after a latency hop. */
+    runtime::CoTask<void> specDepositTask(std::uint32_t idx,
+                                          WorkItem item,
+                                          std::uint64_t seq);
+
+    /** Slot-consumed notification arriving back at the engine. */
+    runtime::CoTask<void> specConsumedTask(Cycle when);
 
     // ---- Fault machinery ----
 
@@ -388,6 +492,33 @@ class MinnowEngine
     // batches.
     std::deque<WorkItem> spillBuf_;
     bool spillDrainActive_ = false;
+
+    // Push coalescing (--push-batch > 1): one buffer per attached
+    // core; seq cancels a stale deadline flush after a size-
+    // triggered one already ran. Credits batch engine-wide (the
+    // credit pool is per-engine, not per-core).
+    struct PushBuf
+    {
+        std::vector<WorkItem> items;
+        std::uint64_t seq = 0;
+        bool deadlineArmed = false;
+    };
+    std::vector<PushBuf> pushBufs_;
+    std::uint32_t creditPending_ = 0;
+    std::uint64_t creditSeq_ = 0;
+    bool creditDeadlineArmed_ = false;
+
+    // Speculative delivery (--spec-slot): per active attached core,
+    // whether a deposit is in flight and the invalidation sequence
+    // that rescue/kill bumps to cancel it mid-flight. Sized by
+    // setActiveCores(); empty disables deposits entirely.
+    struct SpecState
+    {
+        bool inFlight = false;
+        std::uint64_t seq = 0;
+    };
+    std::vector<SpecState> spec_;
+    std::uint32_t specNext_ = 0; //!< round-robin deposit cursor.
 
     // Timeline track and stat bookkeeping. Declared before
     // threadlets_/faultTasks_ on purpose (enforced by the

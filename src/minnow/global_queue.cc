@@ -58,6 +58,13 @@ MinnowGlobalQueue::pushInitial(WorkItem item)
     size_ += 1;
 }
 
+void
+MinnowGlobalQueue::pushInitialBatch(const std::vector<WorkItem> &items)
+{
+    for (const WorkItem &item : items)
+        pushInitial(item);
+}
+
 CoTask<void>
 MinnowGlobalQueue::spill(ThreadletCtx &tc, WorkItem item)
 {

@@ -63,6 +63,9 @@ class MinnowGlobalQueue
     /** Functional-only seeding before simulated time starts. */
     void pushInitial(WorkItem item);
 
+    /** Functional batch variant of pushInitial (rescue paths). */
+    void pushInitialBatch(const std::vector<WorkItem> &items);
+
     /**
      * Timed spill of one task, executed by an engine threadlet.
      * The monitor transfer to "stealable" is the caller's job.

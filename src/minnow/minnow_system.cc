@@ -32,6 +32,11 @@ MinnowSystem::MinnowSystem(Machine *machine,
         engines_.push_back(std::make_unique<MinnowEngine>(
             machine, CoreId(e * coresPerEngine_), &global_,
             program));
+        // Spec-slot deposits may only target cores that run workers
+        // (the last shared engine can be partial).
+        std::uint32_t lo = e * coresPerEngine_;
+        std::uint32_t hi = std::min(engines, lo + coresPerEngine_);
+        engines_.back()->setActiveCores(hi - lo);
     }
     // Route L2 prefetch-bit credit returns to the owning engine.
     machine->memory.setCreditHook(
@@ -146,6 +151,18 @@ MinnowSystem::totals() const
         t.fallbackPops += s.fallbackPops;
         t.prefetchDropped += s.prefetchDropped;
         t.creditsLost += s.creditsLost;
+        t.dequeueBundleTasks += s.dequeueBundleTasks;
+        t.pushFlushes += s.pushFlushes;
+        t.pushedBatched += s.pushedBatched;
+        t.creditFlushes += s.creditFlushes;
+        t.creditsBatched += s.creditsBatched;
+        t.creditHandoffs += s.creditHandoffs;
+        t.specDeposits += s.specDeposits;
+        t.specHits += s.specHits;
+        t.specReclaims += s.specReclaims;
+        t.dqDoorbellCycles += s.dqDoorbellCycles;
+        t.dqWaitCycles += s.dqWaitCycles;
+        t.dqDeliverCycles += s.dqDeliverCycles;
     }
     return t;
 }
@@ -177,11 +194,32 @@ minnowWorker(SimContext &ctx, MinnowEngine &eng, apps::App &app,
     timeline::TrackId taskTrack = tl
         ? tl->coreTaskTrack(ctx.id())
         : timeline::kNoTrack;
+    // Dequeue bundling (--dequeue-batch): one engine round-trip
+    // returns up to k tasks; the rest of the bundle is consumed with
+    // a couple of local instructions per pop. k == 1 takes exactly
+    // the single-task accelerator-call path.
+    const std::uint32_t batch =
+        std::max(1u, ctx.machine().cfg.minnow.dequeueBatch);
+    std::vector<worklist::WorkItem> bundle;
+    std::size_t bundleNext = 0;
     for (;;) {
         ctx.core().setPhase(cpu::Phase::Worklist);
         Cycle dqStart = ctx.machine().eq.now();
-        std::optional<worklist::WorkItem> item =
-            co_await eng.dequeue(ctx);
+        std::optional<worklist::WorkItem> item;
+        if (bundleNext < bundle.size()) {
+            item = bundle[bundleNext++];
+            ctx.compute(2);
+            co_await ctx.sync();
+        } else if (batch > 1) {
+            bundle.clear();
+            bundleNext = 0;
+            std::uint32_t got =
+                co_await eng.dequeueBatch(ctx, bundle, batch);
+            if (got > 0)
+                item = bundle[bundleNext++];
+        } else {
+            item = co_await eng.dequeue(ctx);
+        }
         if (!item)
             break;
         if (tl) {
@@ -189,6 +227,11 @@ minnowWorker(SimContext &ctx, MinnowEngine &eng, apps::App &app,
             tl->span(taskTrack, timeline::Name::Dequeue, dqStart,
                      now);
             tl->taskSample(timeline::TaskPhase::Dequeue,
+                           now - dqStart);
+            // Per-pop wait-for-task latency: ~0 for bundle-local
+            // and spec-slot pops, a round-trip (plus any park time)
+            // for engine calls — the batching scoreboard.
+            tl->taskSample(timeline::TaskPhase::PopWait,
                            now - dqStart);
         }
         state.pops += 1;

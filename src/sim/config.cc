@@ -32,6 +32,10 @@ MachineConfig::validate() const
              "prefetching requires Minnow engines");
     fatal_if(minnow.prefetchEnabled && minnow.prefetchCredits == 0,
              "prefetching requires at least one credit");
+    fatal_if(minnow.enabled && minnow.dequeueBatch == 0,
+             "--dequeue-batch must be at least 1");
+    fatal_if(minnow.enabled && minnow.pushBatch == 0,
+             "--push-batch must be at least 1");
     fatal_if(watchdogInterval != 0 && watchdogChecks == 0,
              "watchdog needs at least one stale check to trip");
     fatal_if(!timelinePath.empty() && timelineBufferCap == 0,
@@ -94,6 +98,11 @@ MachineConfig::applyOptions(const Options &opts)
         opts.getBool("work-sharing", minnow.workSharing);
     minnow.coresPerEngine = std::uint32_t(
         opts.getUint("cores-per-engine", minnow.coresPerEngine));
+    minnow.dequeueBatch = std::uint32_t(
+        opts.getUint("dequeue-batch", minnow.dequeueBatch));
+    minnow.pushBatch = std::uint32_t(
+        opts.getUint("push-batch", minnow.pushBatch));
+    minnow.specSlot = opts.getBool("spec-slot", minnow.specSlot);
 
     std::string pf = opts.getString("prefetcher", "");
     if (pf == "stride") {

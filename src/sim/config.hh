@@ -133,6 +133,30 @@ struct MinnowParams
      * so control-unit and local-queue contention emerge naturally.
      */
     std::uint32_t coresPerEngine = 1;
+
+    /**
+     * Dequeue bundling: one core->engine round-trip returns up to
+     * this many tasks (same priority relaxation as chunked OBIM —
+     * the bundle is drawn from the local-queue head). 1 = today's
+     * single-task pop, bit-for-bit.
+     */
+    std::uint32_t dequeueBatch = 1;
+
+    /**
+     * Push/credit-return coalescing: enqueues and credit returns
+     * buffer per core and flush to the engine when the buffer
+     * reaches this size or a 4x localQueueLatency deadline expires,
+     * amortizing the doorbell. 1 = unbuffered (today's behavior).
+     */
+    std::uint32_t pushBatch = 1;
+
+    /**
+     * Speculative next-task delivery: the engine deposits the
+     * predicted next task into a core-side slot (OooCore) so the
+     * common-case pop is a local hit; kill/stall/rescue reclaim the
+     * slot back to the global worklist.
+     */
+    bool specSlot = false;
 };
 
 /** Which (if any) hardware L2 prefetcher the baseline cores use. */

@@ -41,6 +41,9 @@ constexpr const char *kNameStrings[std::size_t(Name::kNum)] = {
     "faultCreditSwallow",
     "watchdogTrip",
     "diagnostic",
+    "creditHandoff",
+    "specDeposit",
+    "specReclaim",
 };
 
 const char *

@@ -114,6 +114,9 @@ enum class Name : std::uint16_t
     FaultCreditSwallow,
     WatchdogTrip,
     Diagnostic,
+    CreditHandoff, //!< credit returned straight to a waiter.
+    SpecDeposit,   //!< engine deposited a task in a core slot.
+    SpecReclaim,   //!< spec-slot task reclaimed by rescue/kill.
     kNum,
 };
 

@@ -136,12 +136,14 @@ TEST(FaultSpec, WindowsAndTargets)
 RunResult
 runSsspWithFaults(std::uint32_t threads, bool prefetch,
                   const std::string &spec, EngineStats *es = nullptr,
-                  std::unique_ptr<Machine> *keepAlive = nullptr)
+                  std::unique_ptr<Machine> *keepAlive = nullptr,
+                  bool specSlot = false)
 {
     graph::CsrGraph g = graph::gridGraph(24, 24, 100, 1);
     apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
     MachineConfig cfg = minnowConfig(std::max(threads, 2u), prefetch);
     cfg.faultSpec = spec;
+    cfg.minnow.specSlot = specSlot;
     auto m = std::make_unique<Machine>(cfg);
     g.assignAddresses(m->alloc, 32);
     app.reset();
@@ -320,6 +322,108 @@ TEST(EngineDegradation, KillRescuesLocalTasksToGlobalQueue)
     EXPECT_EQ(eng.stats().tasksRescued, 2u);
     EXPECT_EQ(m.monitor.pending(), 2u);
     EXPECT_EQ(m.monitor.stealable(), 2u);
+}
+
+TEST(EngineDegradation, OverlappingRescuesAreIdempotent)
+{
+    // A stall rescue followed by a kill before the stall window
+    // closes runs rescueLocalTasks twice. Drain-to-empty semantics
+    // must make the second pass a no-op: every seeded task crosses
+    // to the global queue exactly once.
+    Machine m(minnowConfig(2, false));
+    m.monitor.reset(1);
+    minnowengine::MinnowGlobalQueue q(&m.alloc, 3);
+    minnowengine::PrefetchProgram prog;
+    minnowengine::MinnowEngine eng(&m, 0, &q, prog);
+
+    m.monitor.addWork(3, false);
+    eng.seedLocal({1, 10});
+    eng.seedLocal({2, 11});
+    eng.seedLocal({3, 12});
+
+    eng.injectStall(5000);
+    EXPECT_EQ(eng.stats().tasksRescued, 3u);
+    eng.injectKill(); // overlapping second rescue: nothing left.
+
+    EXPECT_EQ(eng.stats().tasksRescued, 3u)
+        << "double rescue must not re-count tasks";
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(eng.localQueueSize(), 0u);
+    EXPECT_EQ(m.monitor.pending(), 3u);
+    EXPECT_EQ(m.monitor.stealable(), 3u);
+}
+
+TEST(FaultRun, SpecSlotKillConservesAllWork)
+{
+    // Killing an engine while --spec-slot may have a deposit in
+    // flight (or parked in a core slot) must reclaim it: the run
+    // still verifies and every deposit is either consumed or
+    // reclaimed.
+    EngineStats es;
+    std::unique_ptr<Machine> m;
+    RunResult r = runSsspWithFaults(4, true,
+                                    "engine_kill:core=1,at=20000",
+                                    &es, &m, /*specSlot=*/true);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(m->monitor.pending(), 0u);
+    EXPECT_EQ(es.faultKills, 1u);
+    EXPECT_EQ(es.specDeposits, es.specHits + es.specReclaims);
+}
+
+TEST(EngineCredits, StarvedReturnWakesWaiterExactlyOnce)
+{
+    // Race audit for the PoolAcquire wake path: a credit return
+    // swallowed by fault injection must leave the waiter parked
+    // (not resumed-then-recounted), and the first surviving return
+    // must wake it exactly once.
+    MachineConfig cfg = minnowConfig(2, true);
+    cfg.minnow.prefetchCredits = 1;
+    cfg.faultSpec = "credit_starve:core=0,at=0,dur=40000";
+    Machine m(cfg);
+    m.monitor.reset(1);
+    minnowengine::MinnowGlobalQueue q(&m.alloc, 3);
+    minnowengine::PrefetchProgram prog;
+    minnowengine::MinnowEngine eng(&m, 0, &q, prog);
+    Addr lineA = m.alloc.allocAnon(64);
+    Addr lineB = m.alloc.allocAnon(64);
+
+    int done = 0;
+    auto prefetcher = [](Machine &m, minnowengine::MinnowEngine &eng,
+                         Addr addr, int &done)
+        -> runtime::CoTask<void> {
+        minnowengine::ThreadletCtx tc(&eng, m.eq.now());
+        co_await tc.load(addr, true);
+        done += 1;
+    };
+    runtime::CoTask<void> a = prefetcher(m, eng, lineA, done);
+    runtime::CoTask<void> b = prefetcher(m, eng, lineB, done);
+    a.start(); // takes the only credit.
+    b.start(); // parks on the pool.
+    // In the starvation window: the return is swallowed, the waiter
+    // must stay parked.
+    m.eq.schedule(10000, [](void *p) {
+        auto *e = static_cast<minnowengine::MinnowEngine *>(p);
+        e->creditReturn(true);
+        EXPECT_EQ(e->stats().creditsLost, 1u);
+        EXPECT_EQ(e->creditWaitersNow(), 1u);
+    }, &eng);
+    // After the window: the return hands off and wakes the waiter.
+    m.eq.schedule(60000, [](void *p) {
+        static_cast<minnowengine::MinnowEngine *>(p)
+            ->creditReturn(true);
+    }, &eng);
+    m.eq.run();
+
+    ASSERT_TRUE(a.done());
+    ASSERT_TRUE(b.done());
+    EXPECT_EQ(done, 2) << "waiter must resume exactly once";
+    const EngineStats &es = eng.stats();
+    EXPECT_EQ(es.creditsLost, 1u);
+    EXPECT_EQ(es.creditStalls, 1u)
+        << "the swallowed return must not re-count the stall";
+    EXPECT_EQ(es.creditHandoffs, 1u);
+    EXPECT_EQ(eng.creditWaitersNow(), 0u);
 }
 
 // ---------------------------------------------------------------

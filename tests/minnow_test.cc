@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/cc.hh"
 #include "apps/pr.hh"
@@ -218,6 +222,161 @@ TEST(Engine, BlockedDequeueIsDeliveredByFill)
     EXPECT_TRUE(m.monitor.terminated());
 }
 
+TEST(Engine, DequeueBatchMatchesSingletonPops)
+{
+    // One k-task bundle call and k singleton calls must hand the
+    // worker the same task set — bundling only amortizes the
+    // round-trip, it must not invent, lose, or reorder work across
+    // bucket boundaries beyond the usual chunked-OBIM slack.
+    auto drain = [](bool batched) {
+        Machine m(minnowConfig(2, false));
+        m.monitor.reset(1);
+        MinnowGlobalQueue q(&m.alloc, 3);
+        PrefetchProgram prog;
+        MinnowEngine eng(&m, 0, &q, prog);
+        SimContext ctx(&m, 0);
+        std::vector<worklist::WorkItem> got;
+        std::uint64_t calls = 0;
+        auto driver = [](SimContext &ctx, MinnowEngine &eng,
+                         bool batched,
+                         std::vector<worklist::WorkItem> &out,
+                         std::uint64_t &calls) -> CoTask<void> {
+            for (std::uint64_t i = 0; i < 8; ++i)
+                co_await eng.enqueue(ctx, {std::int64_t(i % 4),
+                                           100 + i});
+            if (batched) {
+                std::vector<worklist::WorkItem> bundle;
+                for (;;) {
+                    bundle.clear();
+                    std::uint32_t n =
+                        co_await eng.dequeueBatch(ctx, bundle, 4);
+                    calls += 1;
+                    if (n == 0)
+                        break;
+                    out.insert(out.end(), bundle.begin(),
+                               bundle.end());
+                }
+            } else {
+                for (;;) {
+                    auto item = co_await eng.dequeue(ctx);
+                    calls += 1;
+                    if (!item)
+                        break;
+                    out.push_back(*item);
+                }
+            }
+        };
+        CoTask<void> t = driver(ctx, eng, batched, got, calls);
+        t.start();
+        m.eq.run();
+        EXPECT_TRUE(t.done());
+        EXPECT_TRUE(m.monitor.terminated());
+        std::vector<std::uint64_t> payloads;
+        for (const auto &item : got)
+            payloads.push_back(item.payload);
+        std::sort(payloads.begin(), payloads.end());
+        return std::make_pair(payloads, calls);
+    };
+    auto [single, singleCalls] = drain(false);
+    auto [bundled, bundleCalls] = drain(true);
+    EXPECT_EQ(single, bundled);
+    ASSERT_EQ(single.size(), 8u);
+    EXPECT_LT(bundleCalls, singleCalls)
+        << "bundling must shrink the number of engine round-trips";
+}
+
+TEST(Engine, SpecSlotDeliversAndConservesTasks)
+{
+    MachineConfig cfg = minnowConfig(2, false);
+    cfg.minnow.specSlot = true;
+    Machine m(cfg);
+    m.monitor.reset(1);
+    MinnowGlobalQueue q(&m.alloc, 3);
+    PrefetchProgram prog;
+    MinnowEngine eng(&m, 0, &q, prog);
+    eng.setActiveCores(1);
+    SimContext ctx(&m, 0);
+
+    int got = 0;
+    auto driver = [](SimContext &ctx, MinnowEngine &eng,
+                     int &got) -> CoTask<void> {
+        for (std::uint64_t i = 0; i < 12; ++i)
+            co_await eng.enqueue(ctx, {0, i});
+        for (;;) {
+            auto item = co_await eng.dequeue(ctx);
+            if (!item)
+                break;
+            ++got;
+        }
+    };
+    CoTask<void> t = driver(ctx, eng, got);
+    t.start();
+    m.eq.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(got, 12);
+    EXPECT_TRUE(m.monitor.terminated());
+    const EngineStats &es = eng.stats();
+    EXPECT_GT(es.specDeposits, 0u)
+        << "a drain loop must trigger speculative deposits";
+    // Every deposit is either consumed by the core or reclaimed;
+    // none may evaporate.
+    EXPECT_EQ(es.specDeposits, es.specHits + es.specReclaims);
+}
+
+TEST(EngineCredits, WakeRecyclesCreditWithoutDoubleCount)
+{
+    // Satellite regression: a credit waiter woken by a handoff whose
+    // line was demand-filled while it slept recycles the credit via
+    // creditReturn(false). That recycle must not recount the stall,
+    // must not resume anyone twice, and must leave the pool full.
+    MachineConfig cfg = minnowConfig(2, true);
+    cfg.minnow.prefetchCredits = 1;
+    Machine m(cfg);
+    m.monitor.reset(1);
+    MinnowGlobalQueue q(&m.alloc, 3);
+    PrefetchProgram prog;
+    MinnowEngine eng(&m, 0, &q, prog);
+    Addr lineA = m.alloc.allocAnon(64);
+    Addr lineB = m.alloc.allocAnon(64);
+
+    int done = 0;
+    auto prefetcher = [](Machine &m, MinnowEngine &eng, Addr addr,
+                         bool prefetch, int &done) -> CoTask<void> {
+        ThreadletCtx tc(&eng, m.eq.now());
+        co_await tc.load(addr, prefetch);
+        done += 1;
+    };
+    // A takes the only credit; B parks on the pool; C demand-loads
+    // B's line (demand traffic needs no credit), so by the time B
+    // wakes its line is already resident.
+    CoTask<void> a = prefetcher(m, eng, lineA, true, done);
+    CoTask<void> b = prefetcher(m, eng, lineB, true, done);
+    CoTask<void> c = prefetcher(m, eng, lineB, false, done);
+    a.start();
+    b.start();
+    c.start();
+    // Long after the fill lands, the consumer returns the credit:
+    // direct handoff to the parked waiter, which now sees its line
+    // resident and recycles.
+    m.eq.schedule(50000, [](void *p) {
+        static_cast<MinnowEngine *>(p)->creditReturn(true);
+    }, &eng);
+    m.eq.run();
+
+    ASSERT_TRUE(a.done());
+    ASSERT_TRUE(b.done());
+    ASSERT_TRUE(c.done());
+    EXPECT_EQ(done, 3);
+    const EngineStats &es = eng.stats();
+    EXPECT_EQ(es.creditStalls, 1u) << "recycle must not recount";
+    EXPECT_EQ(es.creditHandoffs, 1u);
+    EXPECT_EQ(es.prefetchLoads, 1u)
+        << "the woken waiter's line was resident; no second issue";
+    EXPECT_EQ(eng.creditWaitersNow(), 0u);
+    EXPECT_EQ(eng.creditsFree(), 1u)
+        << "the recycled credit must land back in the pool";
+}
+
 RunResult
 runMinnowApp(apps::App &app, std::uint32_t threads, bool prefetch,
              graph::CsrGraph &g, std::uint32_t nodeBytes = 32,
@@ -388,6 +547,84 @@ TEST(MinnowInt, DeterministicAcrossRuns)
         return runMinnow(m, app, 3, cfg).cycles;
     };
     EXPECT_EQ(once(), once());
+}
+
+// One full run with a given knob setting, returning the machine's
+// entire stats snapshot so byte-identity checks catch any drift.
+static std::string
+runKnobbedSssp(std::uint32_t dequeueBatch, std::uint32_t pushBatch,
+               bool specSlot, bool explicitDefaults = true,
+               EngineStats *es = nullptr, bool *verified = nullptr)
+{
+    graph::CsrGraph g = graph::gridGraph(20, 20, 100, 1);
+    MachineConfig mc = minnowConfig(4, true);
+    if (explicitDefaults) {
+        mc.minnow.dequeueBatch = dequeueBatch;
+        mc.minnow.pushBatch = pushBatch;
+        mc.minnow.specSlot = specSlot;
+    }
+    Machine m(mc);
+    g.assignAddresses(m.alloc);
+    apps::SsspApp app(&g, 0, false, 1u << 30, "sssp");
+    RunConfig cfg;
+    cfg.threads = 4;
+    RunResult r = runMinnow(m, app, 3, cfg, es);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_TRUE(r.verified);
+    if (verified)
+        *verified = r.verified;
+    return r.statsJson;
+}
+
+TEST(MinnowInt, ExplicitDefaultKnobsMatchDefaultsBitForBit)
+{
+    // --dequeue-batch=1 --push-batch=1 (and no --spec-slot) must be
+    // the exact pre-knob engine: the full stats snapshot, not just
+    // the cycle count, is byte-identical to a default-config run.
+    std::string dflt = runKnobbedSssp(1, 1, false,
+                                      /*explicitDefaults=*/false);
+    std::string expl = runKnobbedSssp(1, 1, false);
+    EXPECT_EQ(dflt, expl);
+}
+
+TEST(MinnowInt, OffloadKnobsAreDeterministicAcrossRuns)
+{
+    // Seeded determinism holds under each knob in isolation: two
+    // identical runs give byte-identical stats snapshots.
+    EXPECT_EQ(runKnobbedSssp(4, 1, false),
+              runKnobbedSssp(4, 1, false));
+    EXPECT_EQ(runKnobbedSssp(1, 4, false),
+              runKnobbedSssp(1, 4, false));
+    EXPECT_EQ(runKnobbedSssp(1, 1, true),
+              runKnobbedSssp(1, 1, true));
+}
+
+TEST(MinnowInt, BatchedDequeueVerifiesAndBundles)
+{
+    EngineStats es;
+    runKnobbedSssp(4, 1, false, true, &es);
+    EXPECT_GT(es.dequeueBundleTasks, 0u);
+    EXPECT_GT(es.dequeueBundleTasks, es.dequeues)
+        << "bundles must deliver more tasks than round-trips";
+}
+
+TEST(MinnowInt, BatchedPushVerifiesAndFlushes)
+{
+    EngineStats es;
+    runKnobbedSssp(1, 4, false, true, &es);
+    EXPECT_GT(es.pushedBatched + es.creditsBatched, 0u);
+    EXPECT_GT(es.pushFlushes + es.creditFlushes, 0u);
+}
+
+TEST(MinnowInt, SpecSlotVerifiesAndConservesDeposits)
+{
+    EngineStats es;
+    runKnobbedSssp(1, 1, true, true, &es);
+    EXPECT_GT(es.specDeposits, 0u);
+    EXPECT_GT(es.specHits, 0u)
+        << "speculative delivery must convert some pops into hits";
+    EXPECT_EQ(es.specDeposits, es.specHits + es.specReclaims)
+        << "every deposit is consumed or reclaimed, never lost";
 }
 
 TEST(Area, MatchesPaperHeadlines)

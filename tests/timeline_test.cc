@@ -229,6 +229,56 @@ TEST(TimelineRun, EnabledRunsAreByteIdentical)
     std::remove(b.c_str());
 }
 
+TEST(TimelineRun, BatchedDequeueShiftsPopWaitDown)
+{
+    // The popWait track measures the worker-side pop latency the
+    // dequeue bundling exists to amortize: k=4 must pull the P95
+    // strictly below the one-round-trip-per-pop k=1 value.
+    auto popWaitP95 = [](std::uint32_t k) {
+        harness::Workload w = harness::makeWorkload("sssp", 0.05, 42);
+        harness::RunSpec rs;
+        rs.config = harness::Config::MinnowPf;
+        rs.threads = 4;
+        rs.machine.numCores = 4;
+        rs.machine.minnow.dequeueBatch = k;
+        rs.machine.timelinePath = "/dev/null";
+        rs.machine.timelineTracks = "task";
+        harness::ExperimentResult r = harness::runExperiment(w, rs);
+        EXPECT_FALSE(r.run.timedOut);
+        EXPECT_TRUE(r.run.verified);
+        return r.run.report.get("timeline.popWaitP95");
+    };
+    double k1 = popWaitP95(1);
+    double k4 = popWaitP95(4);
+    EXPECT_LT(k4, k1)
+        << "bundled dequeues must shift the popWait tail down";
+}
+
+TEST(TimelineRun, CreditHandoffsAreVisibleInTrace)
+{
+    // Satellite regression: a credit return handed straight to a
+    // parked waiter never touches creditsFree_, so the counter
+    // track's change detection can't see it — the engine must emit
+    // an explicit instant (plus a counter spike) for each handoff.
+    std::string path = "timeline_test_handoff.json";
+    harness::Workload w = harness::makeWorkload("sssp", 0.02, 1);
+    harness::RunSpec rs;
+    rs.config = harness::Config::MinnowPf;
+    rs.threads = 4;
+    rs.machine.numCores = 4;
+    rs.machine.minnow.prefetchCredits = 2; // starve => handoffs.
+    rs.machine.timelinePath = path;
+    harness::ExperimentResult r = harness::runExperiment(w, rs);
+    EXPECT_FALSE(r.run.timedOut);
+    ASSERT_GT(r.engines.creditHandoffs, 0u)
+        << "2 credits on sssp must exercise the handoff path";
+    std::string json = readFile(path);
+    ASSERT_FALSE(json.empty());
+    EXPECT_GE(countSub(json, "\"creditHandoff\""),
+              1u);
+    std::remove(path.c_str());
+}
+
 TEST(TimelineRun, CoexistsWithStatsIntervalSampler)
 {
     // Regression: the timeline counter sampler and the
