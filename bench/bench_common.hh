@@ -29,6 +29,22 @@
  *   offload_breakdown additionally takes --batch-list=a,b and
  *   --json=<path> (schema "minnow-offload-1").
  *
+ * Checkpoint knobs (DESIGN.md section 5i):
+ *   --checkpoint-out=<path>   write a checkpoint (when depends on
+ *                        --checkpoint-after; also written as a
+ *                        rescue on SIGINT/SIGTERM).
+ *   --checkpoint-in=<path>    warm-start from a checkpoint; any
+ *                        validation failure warns and degrades to
+ *                        a cold start, never wrong results.
+ *   --checkpoint-after=<when> "warmup" (default: save at the warm
+ *                        boundary, before simulated time starts) or
+ *                        a cycle count (save a mid-run rescue
+ *                        anchor at the first event boundary at or
+ *                        after that cycle).
+ * SIGINT/SIGTERM always stop cleanly at the next event boundary:
+ * stats/diag JSON are flushed, a rescue checkpoint is written when
+ * --checkpoint-out is set, and the bench exits 128+signal.
+ *
  * Robustness knobs (also via applyOptions; see DESIGN.md "Fault
  * model"):
  *   --faults=<spec>   deterministic fault injection, e.g.
@@ -69,12 +85,15 @@
 #ifndef MINNOW_BENCH_BENCH_COMMON_HH
 #define MINNOW_BENCH_BENCH_COMMON_HH
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/options.hh"
 #include "base/trace.hh"
 #include "base/table.hh"
@@ -82,6 +101,29 @@
 
 namespace minnow::bench
 {
+
+/**
+ * Graceful-stop plumbing: the handler only sets a flag; the event
+ * loop polls it at event boundaries, so an interrupted run's
+ * simulated prefix stays bit-identical to an uninterrupted one.
+ */
+inline volatile std::sig_atomic_t gStopRequested = 0;
+inline volatile std::sig_atomic_t gStopSignal = 0;
+
+extern "C" inline void
+benchSignalHandler(int sig)
+{
+    gStopSignal = sig;
+    gStopRequested = 1;
+}
+
+/** Install SIGINT/SIGTERM handlers (called by parseArgs). */
+inline void
+installSignalHandlers()
+{
+    std::signal(SIGINT, benchSignalHandler);
+    std::signal(SIGTERM, benchSignalHandler);
+}
 
 /**
  * Accumulates one JSON entry per benchmark run and writes the whole
@@ -176,6 +218,9 @@ struct BenchArgs
     std::vector<std::string> workloads;
     std::string statsDir; //!< dump per-run .stats files here.
     std::shared_ptr<StatsJsonLog> statsJson; //!< --stats-json log.
+    std::string checkpointOut;   //!< --checkpoint-out.
+    std::string checkpointIn;    //!< --checkpoint-in.
+    std::string checkpointAfter = "warmup"; //!< --checkpoint-after.
     MachineConfig machine;
 
     BenchArgs() : machine(scaledMachine()) {}
@@ -200,6 +245,11 @@ parseArgs(const Options &opts, double defaultScale = 1.0,
     std::string sj = opts.getString("stats-json", "");
     if (!sj.empty())
         a.statsJson = std::make_shared<StatsJsonLog>(sj);
+    a.checkpointOut = opts.getString("checkpoint-out", "");
+    a.checkpointIn = opts.getString("checkpoint-in", "");
+    a.checkpointAfter =
+        opts.getString("checkpoint-after", "warmup");
+    installSignalHandlers();
     a.machine.applyOptions(opts);
     if (a.machine.numCores < a.threads)
         a.machine.numCores = a.threads;
@@ -220,6 +270,21 @@ parseArgs(const Options &opts, double defaultScale = 1.0,
     return a;
 }
 
+/**
+ * Build a workload honoring --checkpoint-in: warm-loads the graph
+ * from the checkpoint when one was given (degrading to cold
+ * generation on any validation failure), else generates cold.
+ */
+inline harness::Workload
+makeWorkload(const std::string &name, const BenchArgs &a)
+{
+    if (!a.checkpointIn.empty()) {
+        return harness::makeWorkloadWarm(name, a.scale, a.seed,
+                                         a.checkpointIn);
+    }
+    return harness::makeWorkload(name, a.scale, a.seed);
+}
+
 /** Run one workload/config and return the result (fresh machine). */
 inline harness::ExperimentResult
 run(harness::Workload &w, harness::Config config,
@@ -231,6 +296,10 @@ run(harness::Workload &w, harness::Config config,
     spec.machine = a.machine;
     spec.verify = verify;
     spec.maxEvents = a.maxEvents;
+    spec.checkpointOut = a.checkpointOut;
+    spec.checkpointIn = a.checkpointIn;
+    spec.checkpointAfter = a.checkpointAfter;
+    spec.interruptFlag = &gStopRequested;
     harness::ExperimentResult r = harness::runExperiment(w, spec);
     if (a.statsJson) {
         a.statsJson->add(w.name, harness::configName(config),
@@ -248,6 +317,24 @@ run(harness::Workload &w, harness::Config config,
             r.run.report.dump(f);
             std::fclose(f);
         }
+    }
+    if (r.run.interrupted) {
+        // Clean signal exit: everything a crashed run would leave
+        // behind (diag/stats via the panic-hook registry, the
+        // bench's own JSON log, a rescue checkpoint — already
+        // written by the harness) is flushed before exiting
+        // nonzero so callers can distinguish this from success.
+        std::fprintf(stderr,
+                     "interrupted by signal %d: stopped at an event"
+                     " boundary, output flushed%s\n",
+                     int(gStopSignal),
+                     a.checkpointOut.empty()
+                         ? ""
+                         : ", rescue checkpoint written");
+        if (a.statsJson)
+            a.statsJson->flush();
+        flushPanicHooks();
+        std::exit(128 + int(gStopSignal));
     }
     return r;
 }

@@ -19,14 +19,23 @@ Two measurements, both from binaries built in this tree:
     popWait P95 strictly below the k=1 value (the round-trip
     amortization the batched-dequeue path exists for).
 
+ 4. the checkpoint subsystem (DESIGN.md section 5i): host-time cost
+    of saving and warm-restoring a fig18-scale point via
+    point_runner, and warm-vs-cold time-to-first-figure-point for a
+    crash-resumed sweep (scripts/sweep_orchestrator.py serving a
+    finished point from its manifest vs re-running it cold). The
+    resumed sweep must deliver its first figure point >= 2x faster
+    than the cold run.
+
 --smoke runs a smaller workload point and only enforces a
 conservative >= 1.05x micro speedup (wired into ctest so sim-speed
-regressions fail loudly without flaking on noisy CI hosts).
+regressions fail loudly without flaking on noisy CI hosts); the 2x
+checkpoint-resume floor applies in both modes.
 
 Usage:
   bench_simspeed.py [--build-dir DIR] [--micro PATH] [--fig PATH]
-                    [--out BENCH_simspeed.json] [--smoke]
-                    [--min-speedup X]
+                    [--runner PATH] [--out BENCH_simspeed.json]
+                    [--smoke] [--min-speedup X]
 """
 
 import argparse
@@ -36,6 +45,7 @@ import platform
 import subprocess
 import sys
 import tempfile
+import time
 
 
 def fail(msg):
@@ -163,6 +173,74 @@ def run_offload(offload, smoke):
             "points": doc.get("points", [])}
 
 
+def timed_run(cmd, timeout=1800):
+    """Run a subprocess; return (wall_seconds, proc)."""
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          timeout=timeout)
+    return time.monotonic() - t0, proc
+
+
+def run_checkpoint(runner):
+    """Measure checkpoint save/restore host cost and the
+    warm-vs-cold time-to-first-figure-point of a resumed sweep."""
+    orch = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "sweep_orchestrator.py")
+    scale = "1.0"  # generation + sim must dominate process startup
+    point = ["--workload=sssp", "--config=minnow-pf",
+             "--threads=4", "--cores=4", f"--scale={scale}",
+             "--seed=42"]
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "warm.ckpt")
+
+        def point_run(extra):
+            out = os.path.join(tmp, "point.json")
+            wall, proc = timed_run(
+                [runner] + point + [f"--json={out}"] + extra)
+            if proc.returncode != 0:
+                fail(f"point_runner exited {proc.returncode}:"
+                     f"\n{proc.stdout}\n{proc.stderr}")
+            with open(out) as f:
+                return wall, json.load(f)
+
+        cold_wall, cold = point_run([])
+        save_wall, _save = point_run([f"--checkpoint-out={ckpt}"])
+        warm_wall, warm = point_run([f"--checkpoint-in={ckpt}"])
+        if not warm.get("warmStart"):
+            fail("checkpoint restore did not warm-start")
+
+        # Orchestrated sweep: first invocation runs the point and
+        # journals it; the re-invocation (a crash-recovery resume)
+        # serves it from the manifest. Its wall clock is the
+        # resumed sweep's time-to-first-figure-point.
+        sweep = [sys.executable, orch, f"--runner={runner}",
+                 f"--points=sssp:minnow-pf:4", f"--scale={scale}",
+                 "--seed=42", f"--out={os.path.join(tmp, 'sweep')}"]
+        _, proc = timed_run(sweep)
+        if proc.returncode != 0:
+            fail(f"orchestrator sweep failed:\n{proc.stdout}"
+                 f"\n{proc.stderr}")
+        resume_wall, proc = timed_run(sweep)
+        if proc.returncode != 0 or \
+                "served from manifest" not in proc.stdout:
+            fail(f"orchestrator resume did not serve from the "
+                 f"manifest:\n{proc.stdout}\n{proc.stderr}")
+        ckpt_bytes = os.path.getsize(ckpt)
+
+    return {
+        "runner": os.path.basename(runner),
+        "point": " ".join(point),
+        "coldSeconds": cold_wall,
+        "saveSeconds": save_wall,
+        "warmSeconds": warm_wall,
+        "coldBuildSeconds": cold["buildSeconds"],
+        "warmBuildSeconds": warm["buildSeconds"],
+        "checkpointBytes": ckpt_bytes,
+        "resumeSeconds": resume_wall,
+        "resumeSpeedup": cold_wall / resume_wall,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default=None)
@@ -172,6 +250,8 @@ def main():
                     help="path to fig18_mpki_credits")
     ap.add_argument("--offload", default=None,
                     help="path to offload_breakdown")
+    ap.add_argument("--runner", default=None,
+                    help="path to point_runner")
     ap.add_argument("--out", default="BENCH_simspeed.json")
     ap.add_argument("--smoke", action="store_true",
                     help="small workload, conservative threshold")
@@ -183,10 +263,12 @@ def main():
     fig = find_binary(args, args.fig, "bench/fig18_mpki_credits")
     offload = find_binary(args, args.offload,
                           "bench/offload_breakdown")
+    runner = find_binary(args, args.runner, "bench/point_runner")
 
     micro_res = run_micro(micro)
     workload_res = run_workload(fig, args.smoke)
     offload_res = run_offload(offload, args.smoke)
+    ckpt_res = run_checkpoint(runner)
 
     bar = args.min_speedup
     if bar is None:
@@ -202,6 +284,7 @@ def main():
         "micro": micro_res,
         "workload": workload_res,
         "offload": offload_res,
+        "checkpoint": ckpt_res,
         "minSpeedup": bar,
     }
     with open(args.out, "w") as f:
@@ -217,11 +300,18 @@ def main():
           f" ({int(hp.get('events', 0))} events)"
           f" | popWaitP95 k=1 {opts[1]['popWaitP95']:.0f}"
           f" -> k=4 {opts[4]['popWaitP95']:.0f}"
+          f" | ckpt cold {ckpt_res['coldSeconds']:.3f}s, resume "
+          f"{ckpt_res['resumeSeconds']:.3f}s"
+          f" ({ckpt_res['resumeSpeedup']:.1f}x)"
           f" | wrote {args.out}")
 
     if micro_res["speedup"] < bar:
         fail(f"wheel-vs-heap speedup {micro_res['speedup']:.3f}x"
              f" below the {bar}x bar")
+    if ckpt_res["resumeSpeedup"] < 2.0:
+        fail(f"resumed sweep's time-to-first-figure-point is only "
+             f"{ckpt_res['resumeSpeedup']:.2f}x faster than cold "
+             f"(floor 2x)")
     print("bench_simspeed: OK")
 
 

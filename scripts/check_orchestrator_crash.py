@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Crash drill for the warm-sweep orchestrator (ISSUE acceptance).
+
+Scenario:
+  1. Launch sweep_orchestrator.py with --kill-after-launch on the
+     second point: the orchestrator SIGKILLs the running child AND
+     itself mid-sweep, leaving sweep_manifest.json with the first
+     point finished and the second "running".
+  2. Assert the manifest survived torn-write-free and records
+     exactly that state.
+  3. Re-invoke the orchestrator on the same --out directory.
+     It must resume from the manifest: the finished point is served
+     without re-running (its result, including host timestamps, is
+     byte-equal), the interrupted point is retried, and the final
+     report covers every point — none silently missing, each ok or
+     explicitly degraded/failed.
+
+Usage: check_orchestrator_crash.py <point_runner-binary>
+Exit status 0 on success; prints the first failure otherwise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ORCH = os.path.join(HERE, "sweep_orchestrator.py")
+
+POINTS = "sssp:minnow-pf:4,sssp:obim:4"
+P1 = "sssp:minnow-pf:4"
+P2 = "sssp:obim:4"
+
+
+def fail(msg):
+    print(f"check_orchestrator_crash: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_orch(runner, out, extra):
+    cmd = [
+        sys.executable, ORCH,
+        f"--runner={runner}",
+        f"--points={POINTS}",
+        "--scale=0.05",
+        "--backoff=0.2",
+        f"--out={out}",
+    ] + extra
+    return subprocess.run(
+        cmd, capture_output=True, text=True, timeout=600)
+
+
+def manifest(out):
+    with open(os.path.join(out, "sweep_manifest.json")) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_orchestrator_crash.py "
+             "<point_runner-binary>")
+    runner = sys.argv[1]
+    tmp = tempfile.mkdtemp(prefix="minnow_crash_drill_")
+    out = os.path.join(tmp, "sweep")
+
+    # 1. Crash mid-sweep: child killed, orchestrator SIGKILLed.
+    proc = run_orch(runner, out, [f"--kill-after-launch={P2}"])
+    if proc.returncode != -9:
+        fail(f"orchestrator did not die by SIGKILL "
+             f"(exit {proc.returncode}):\n{proc.stdout}\n"
+             f"{proc.stderr}")
+
+    # 2. The journal must reflect the crash exactly.
+    doc = manifest(out)
+    e1, e2 = doc["points"][P1], doc["points"][P2]
+    if e1["status"] != "ok":
+        fail(f"finished point lost: {P1} is {e1['status']}")
+    if e2["status"] != "running":
+        fail(f"interrupted point is {e2['status']}, want 'running'")
+    host_before = e1["result"]["hostSeconds"]
+
+    # 3. Resume: finished point served, interrupted point retried.
+    proc = run_orch(runner, out, [])
+    if proc.returncode != 0:
+        fail(f"resume failed (exit {proc.returncode}):\n"
+             f"{proc.stdout}\n{proc.stderr}")
+    if f"{P1}: ok (served from manifest)" not in proc.stdout:
+        fail(f"resume re-ran the finished point:\n{proc.stdout}")
+
+    doc = manifest(out)
+    e1, e2 = doc["points"][P1], doc["points"][P2]
+    if e1["result"]["hostSeconds"] != host_before:
+        fail("finished point's result changed on resume "
+             "(it was re-run)")
+    if e2["status"] not in ("ok", "degraded"):
+        fail(f"interrupted point ended as {e2['status']}")
+    if e2["attempts"] < 2:
+        fail(f"interrupted point's attempt count lost "
+             f"(attempts={e2['attempts']})")
+    if e2["error"] is not None:
+        fail(f"retried point kept a stale error: {e2['error']}")
+    for pid, e in doc["points"].items():
+        if e["status"] not in ("ok", "degraded"):
+            fail(f"{pid}: final status {e['status']}")
+        if e["result"] is None:
+            fail(f"{pid}: no result recorded")
+
+    # The interrupted point's retry must have warm-started from the
+    # checkpoint the finished point wrote before the crash.
+    if not e2["warm"]:
+        fail("retried point did not warm-start from the surviving "
+             "checkpoint")
+
+    print(
+        "check_orchestrator_crash: OK (crash left "
+        f"{P2} mid-run; resume served {P1} from the manifest and "
+        f"retried {P2} to '{e2['status']}' on attempt "
+        f"{e2['attempts']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -327,6 +327,59 @@ paper workloads.
 """
 
 
+# Static epilogue: workflow notes that are not tied to one bench's
+# output and must survive regeneration.
+EPILOGUE = """\
+## Running sweeps: the warm-sweep orchestrator
+
+Long figure sweeps (many points of one workload at different
+configs/thread counts) do not need to regenerate the input graph per
+point: `bench/point_runner` runs one (workload, config, threads)
+point and can save/load the deterministic warm-boundary checkpoint
+(DESIGN.md §5i), and `scripts/sweep_orchestrator.py` drives a whole
+point list crash-safely on top of it:
+
+```sh
+./build/bench/point_runner --workload=sssp --config=minnow-pf \\
+    --threads=16 --scale=0.5 --checkpoint-out=sssp.ckpt  # 1st point
+./build/bench/point_runner --workload=sssp --config=obim \\
+    --threads=16 --scale=0.5 --checkpoint-in=sssp.ckpt   # warm start
+
+python3 scripts/sweep_orchestrator.py \\
+    --runner=build/bench/point_runner \\
+    --points=sssp:minnow-pf:4,sssp:obim:4,pr:obim:4 \\
+    --scale=0.5 --timeout=600 --retries=3 --out=sweep
+```
+
+The first completed point of each workload writes `<out>/<wl>.ckpt`;
+every later point of that workload warm-starts from it. Each point
+gets a wall-clock `--timeout` (a hung child is killed and retried up
+to `--retries` times with exponential backoff + jitter), and every
+state change is journaled to `<out>/sweep_manifest.json` via
+temp+rename. If the orchestrator itself dies — OOM kill, ctrl-C,
+power loss — just re-run the same command: finished points are
+served from the manifest without re-running, the interrupted point
+is retried (warm, since the checkpoint survived), and the final
+report accounts for every point. Statuses in the report/manifest:
+
+  - `ok` — point completed (warm or cold as expected);
+    `retried xN` notes timeout/error attempts along the way.
+  - `degraded` — the point expected to warm-start but its checkpoint
+    was missing or failed CRC validation, so `point_runner` warned
+    and cold-started ("warn, never wrong"): the numbers are still
+    correct and byte-identical to a cold run, it just cost more
+    wall-clock.
+  - `failed` — all `--retries` attempts timed out or errored; the
+    sweep exits nonzero and the last error is in the manifest.
+
+Warm and cold runs of a point produce byte-identical `--stats-json`
+(enforced by `scripts/check_checkpoint_ab.py` in ctest); the crash
+path above is drilled by `scripts/check_orchestrator_crash.py`, and
+`scripts/bench_simspeed.py` gates the resume path at >=2x the
+cold time-to-first-point.
+"""
+
+
 def main():
     bench = open("bench_output.txt").read()
     sections = {}
@@ -386,6 +439,8 @@ is cache-scaled to match (DESIGN.md §2, §6).
         out.append("```")
         out.append(body)
         out.append("```\n")
+
+    out.append(EPILOGUE.rstrip() + "\n")
 
     open("EXPERIMENTS.md", "w").write("\n".join(out) + "\n")
     print("wrote EXPERIMENTS.md,", len(sections), "sections")

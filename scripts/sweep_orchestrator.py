@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""Crash-safe warm-sweep orchestrator for point_runner figure points.
+
+Runs a list of (workload, config, threads) figure points as child
+processes, warm-starting every point of a workload from a shared
+warm-boundary checkpoint that the workload's first point writes
+(--checkpoint-out at the warm boundary; see DESIGN.md section 5i).
+
+Robustness contract ("warn, never wrong"):
+
+  - Journal: every state change is written to sweep_manifest.json
+    (temp file + rename, so a crash never leaves a torn manifest).
+    Re-invoking the orchestrator on the same --out directory resumes
+    from the manifest: finished points are served from it, points
+    that were mid-run when the orchestrator died ("running") are
+    retried, and nothing is ever silently dropped.
+  - Timeout/retry/backoff: each point gets a wall-clock timeout; a
+    timed-out child is killed and the point retried up to --retries
+    times with exponential backoff (base * 2^attempt) plus jitter
+    drawn from a dedicated seeded RNG reseeded per attempt, so two
+    orchestrators racing on one machine do not retry in lockstep.
+  - Graceful degradation: a missing or corrupt checkpoint makes
+    point_runner itself warn and cold-start (CRC-validated load);
+    the orchestrator records such points as "degraded" rather than
+    failing the sweep, and says so in the final report.
+
+Point results land in <out>/points/<id>.json; the final integrity
+report lists every point as ok / retried / degraded / failed and the
+exit status is nonzero if any point failed (or, with --smoke, if any
+self-check is violated).
+
+Test hooks (used by the ctest crash drill and --smoke):
+  --inject-timeout=<id>   force the first attempt of point <id> to
+                          time out (exercises kill+backoff+retry).
+  --kill-after-launch=<id>  SIGKILL the child AND the orchestrator
+                          right after launching point <id>, leaving
+                          the manifest mid-run ("running").
+
+Usage:
+  sweep_orchestrator.py --runner=build/bench/point_runner \
+      --points=sssp:minnow-pf:4,pr:obim:4 --scale=0.1 --out=sweep
+  sweep_orchestrator.py --runner=... --smoke --out=sweep
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+SCHEMA = "minnow-sweep-1"
+
+
+def log(msg):
+    print(f"sweep_orchestrator: {msg}", flush=True)
+
+
+def fail(msg):
+    print(f"sweep_orchestrator: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Manifest:
+    """The journal. Every mutation is flushed via temp+rename."""
+
+    def __init__(self, path, scale, seed, point_ids):
+        self.path = path
+        self.doc = {
+            "schema": SCHEMA,
+            "scale": scale,
+            "seed": seed,
+            "points": {
+                pid: {"status": "pending", "attempts": 0,
+                      "warm": False, "error": None, "result": None}
+                for pid in point_ids
+            },
+        }
+
+    def load_existing(self):
+        """Resume from a prior journal if one is compatible.
+        Returns a description of what was recovered."""
+        if not os.path.exists(self.path):
+            return "fresh manifest"
+        try:
+            with open(self.path) as f:
+                old = json.load(f)
+        except (OSError, ValueError) as e:
+            log(f"warn: unreadable manifest ({e}); starting fresh")
+            return "fresh manifest (old one unreadable)"
+        if old.get("schema") != SCHEMA or \
+                old.get("scale") != self.doc["scale"] or \
+                old.get("seed") != self.doc["seed"]:
+            log("warn: manifest is for a different sweep "
+                "(schema/scale/seed); starting fresh")
+            return "fresh manifest (old one incompatible)"
+        resumed = interrupted = 0
+        for pid, entry in old.get("points", {}).items():
+            if pid not in self.doc["points"]:
+                continue  # dropped from the point list; forget it
+            if entry.get("status") == "running":
+                # The orchestrator died mid-run; the result never
+                # landed, so the point must be retried (attempts
+                # carry over into the backoff schedule).
+                entry["status"] = "pending"
+                entry["error"] = "orchestrator died mid-run"
+                interrupted += 1
+            else:
+                resumed += 1
+            self.doc["points"][pid] = entry
+        return (f"resumed {resumed} finished, "
+                f"{interrupted} interrupted point(s)")
+
+    def flush(self):
+        tmp = self.path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(self.doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        os.replace(tmp, self.path)
+
+    def entry(self, pid):
+        return self.doc["points"][pid]
+
+    def set(self, pid, **kv):
+        self.doc["points"][pid].update(kv)
+        self.flush()
+
+
+def parse_points(spec):
+    """'sssp:minnow-pf:4,pr:obim:4' -> [(id, wl, cfg, threads)]."""
+    points = []
+    for item in spec.split(","):
+        parts = item.split(":")
+        if len(parts) != 3:
+            fail(f"bad point '{item}' (want workload:config:threads)")
+        wl, cfg, threads = parts
+        points.append((item, wl, cfg, int(threads)))
+    return points
+
+
+def run_attempt(args, point, ckpt, write_ckpt, timeout, out_json):
+    """One child launch. Returns (status, detail) where status is
+    'ok', 'timeout', or 'error'."""
+    pid, wl, cfg, threads = point
+    cmd = [
+        args.runner,
+        f"--workload={wl}",
+        f"--config={cfg}",
+        f"--threads={threads}",
+        f"--cores={threads}",
+        f"--scale={args.scale}",
+        f"--seed={args.seed}",
+        f"--json={out_json}",
+    ]
+    if write_ckpt:
+        cmd.append(f"--checkpoint-out={ckpt}")
+    elif os.path.exists(ckpt):
+        cmd.append(f"--checkpoint-in={ckpt}")
+    child = subprocess.Popen(
+        cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        text=True)
+    if args.kill_after_launch == pid:
+        # Crash drill: die ungracefully with the point mid-run.
+        time.sleep(0.2)
+        child.kill()
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        _, err = child.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        child.kill()
+        child.wait()
+        return "timeout", f"killed after {timeout:.3g}s"
+    if child.returncode != 0:
+        return "error", (f"exit {child.returncode}: "
+                         f"{err.strip()[-500:]}")
+    for line in err.splitlines():
+        log(f"  [{pid}] {line}")
+    return "ok", err
+
+
+def run_point(args, manifest, point, rng):
+    pid, wl, _cfg, _threads = point
+    entry = manifest.entry(pid)
+    if entry["status"] in ("ok", "degraded"):
+        log(f"{pid}: {entry['status']} (served from manifest)")
+        return
+    ckpt = os.path.join(args.out, f"{wl}.ckpt")
+    out_json = os.path.join(args.out, "points", f"{pid}.json")
+
+    while entry["attempts"] < args.retries:
+        attempt = entry["attempts"]
+        if attempt > 0:
+            # Exponential backoff with jitter from a dedicated RNG
+            # reseeded per attempt (decoupled from the simulation
+            # seed, which must stay fixed for determinism).
+            rng.seed((args.seed << 16) ^ hash(pid) ^ attempt)
+            delay = args.backoff * (2 ** (attempt - 1)) \
+                + rng.uniform(0, args.backoff)
+            log(f"{pid}: retry {attempt} in {delay:.2f}s")
+            time.sleep(delay)
+        manifest.set(pid, status="running", attempts=attempt + 1)
+
+        # A workload's first completed point writes the shared warm
+        # checkpoint; later points (and retries once it exists)
+        # start from it.
+        write_ckpt = not os.path.exists(ckpt)
+        timeout = args.timeout
+        if args.inject_timeout == pid and attempt == 0:
+            timeout = 0.001
+        status, detail = run_attempt(
+            args, point, ckpt, write_ckpt, timeout, out_json)
+
+        if status == "ok":
+            try:
+                with open(out_json) as f:
+                    result = json.load(f)
+            except (OSError, ValueError) as e:
+                status, detail = "error", f"bad point JSON: {e}"
+            else:
+                warm = bool(result.get("warmStart"))
+                expected_warm = not write_ckpt
+                final = "ok"
+                if expected_warm and not warm:
+                    # point_runner warned and cold-started (missing
+                    # or corrupt checkpoint): right answer, slower
+                    # path. Record it honestly.
+                    final = "degraded"
+                manifest.set(pid, status=final, warm=warm,
+                             error=None, result=result)
+                log(f"{pid}: {final} "
+                    f"({'warm' if warm else 'cold'}, attempt "
+                    f"{attempt + 1})")
+                return
+        log(f"{pid}: attempt {attempt + 1} {status}: "
+            f"{detail.splitlines()[-1] if detail else status}")
+        manifest.set(pid, status="pending", error=detail)
+    manifest.set(pid, status="failed")
+    log(f"{pid}: FAILED after {args.retries} attempts")
+
+
+def report(manifest, points):
+    """Final integrity report; returns the number of failures."""
+    log("---- sweep report ----")
+    failures = 0
+    for pid, *_ in points:
+        e = manifest.entry(pid)
+        status = e["status"]
+        notes = []
+        if e["attempts"] > 1:
+            notes.append(f"retried x{e['attempts'] - 1}")
+        notes.append("warm" if e["warm"] else "cold")
+        if status == "degraded":
+            notes.append("checkpoint unusable, cold fallback")
+        if status not in ("ok", "degraded"):
+            failures += 1
+            if e["error"]:
+                notes.append(e["error"].splitlines()[-1][:120])
+        log(f"  {pid}: {status} ({', '.join(notes)})")
+    log(f"---- {len(points)} points, {failures} failed ----")
+    return failures
+
+
+def smoke_checks(manifest, points, inject_id):
+    """Self-asserting --smoke invariants."""
+    problems = []
+    for pid, *_ in points:
+        e = manifest.entry(pid)
+        if e["status"] != "ok":
+            problems.append(f"{pid}: status {e['status']}, want ok")
+    inj = manifest.entry(inject_id)
+    if inj["attempts"] < 2:
+        problems.append(
+            f"{inject_id}: injected timeout did not force a retry "
+            f"(attempts={inj['attempts']})")
+    # The workload's non-first point must have warm-started from the
+    # first point's checkpoint.
+    warm_ids = [pid for pid, *_ in points
+                if manifest.entry(pid)["warm"]]
+    if not warm_ids:
+        problems.append("no point warm-started from the shared "
+                        "checkpoint")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--runner", required=True)
+    ap.add_argument("--points",
+                    default="sssp:minnow-pf:4,sssp:obim:4")
+    ap.add_argument("--out", default="sweep_out")
+    ap.add_argument("--scale", type=float, default=0.1)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--timeout", type=float, default=300.0,
+                    help="per-point wall-clock timeout (seconds)")
+    ap.add_argument("--retries", type=int, default=3,
+                    help="max attempts per point")
+    ap.add_argument("--backoff", type=float, default=1.0,
+                    help="base backoff (seconds)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="2-point self-asserting smoke sweep (with "
+                         "an injected first-attempt timeout)")
+    ap.add_argument("--inject-timeout", default="")
+    ap.add_argument("--kill-after-launch", default="")
+    args = ap.parse_args()
+
+    if args.smoke:
+        args.scale = 0.05
+        args.points = "sssp:minnow-pf:4,sssp:obim:4"
+        if not args.inject_timeout:
+            args.inject_timeout = "sssp:obim:4"
+        args.backoff = min(args.backoff, 0.2)
+        # The smoke is self-asserting about what a fresh sweep does;
+        # never let a stale manifest serve its points.
+        shutil.rmtree(args.out, ignore_errors=True)
+
+    points = parse_points(args.points)
+    os.makedirs(os.path.join(args.out, "points"), exist_ok=True)
+    manifest = Manifest(
+        os.path.join(args.out, "sweep_manifest.json"),
+        args.scale, args.seed, [p[0] for p in points])
+    log(manifest.load_existing())
+    manifest.flush()
+
+    rng = random.Random()
+    for point in points:
+        run_point(args, manifest, point, rng)
+
+    failures = report(manifest, points)
+    if args.smoke:
+        problems = smoke_checks(manifest, points,
+                                args.inject_timeout)
+        for p in problems:
+            log(f"smoke check FAILED: {p}")
+        if problems:
+            sys.exit(1)
+        log("smoke checks passed")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

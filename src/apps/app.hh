@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "graph/csr.hh"
 #include "runtime/sim_context.hh"
 #include "runtime/task.hh"
@@ -143,6 +144,19 @@ class App
     std::uint32_t splitThreshold() const { return splitThreshold_; }
     const AppCounters &counters() const { return counters_; }
     void resetCounters() { counters_ = AppCounters{}; }
+
+    /**
+     * Serialize functional state plus counters; subclasses call the
+     * base then add their own arrays. The graph pointer and split
+     * threshold are configuration, rebuilt at machine build (the
+     * graph has its own checkpoint section).
+     */
+    virtual void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(counters_);
+        ck.transient("graph_ splitThreshold_");
+    }
 
     /** Edge sub-range of a (possibly split) task. */
     void

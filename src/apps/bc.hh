@@ -46,6 +46,14 @@ class BcApp : public App
     /** Host-side bipartiteness test (BFS 2-coloring). */
     bool referenceIsBipartite() const;
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(color_);
+        ck.io(conflict_);
+    }
+
   private:
     std::vector<std::uint8_t> color_;
     bool conflict_ = false;

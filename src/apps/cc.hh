@@ -39,6 +39,13 @@ class CcApp : public App
     /** Host union-find reference labels (min node id per set). */
     std::vector<NodeId> referenceLabels() const;
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(label_);
+    }
+
   private:
     std::vector<NodeId> label_;
 };

@@ -48,6 +48,15 @@ class KcoreApp : public App
     /** Serial peeling reference. */
     std::vector<std::uint8_t> referenceCore() const;
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(k_);
+        ck.io(alive_);
+        ck.io(degree_);
+    }
+
   private:
     std::uint32_t k_;
     std::vector<std::uint8_t> alive_;

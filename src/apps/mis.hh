@@ -47,6 +47,15 @@ class MisApp : public App
     /** Serial greedy reference (identical by construction). */
     std::vector<std::uint8_t> referenceSet() const;
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(in_);
+        ck.io(blocked_);
+        ck.io(waits_);
+    }
+
   private:
     std::vector<std::uint8_t> in_;       //!< 1 if in the MIS.
     std::vector<std::uint8_t> blocked_;  //!< lower neighbour joined.

@@ -57,6 +57,16 @@ class PrApp : public App
         };
     }
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(alpha_);
+        ck.io(epsilon_);
+        ck.io(rank_);
+        ck.io(residual_);
+    }
+
   private:
     /** Priority: descending residual, discretized. */
     std::int64_t priorityOf(double residual) const;

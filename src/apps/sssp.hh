@@ -73,6 +73,16 @@ class SsspApp : public App
         };
     }
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(source_);
+        ck.io(unitWeights_);
+        ck.io(label_);
+        ck.io(dist_);
+    }
+
   private:
     NodeId source_;
     bool unitWeights_;

@@ -44,6 +44,13 @@ class TcApp : public App
     /** Host-side count (same algorithm, serial). */
     std::uint64_t referenceTriangles() const;
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        App::checkpoint(ck);
+        ck.io(triangles_);
+    }
+
   private:
     std::uint64_t triangles_ = 0;
 };

@@ -112,6 +112,12 @@ addPanicHook(PanicHook hook, void *arg)
 }
 
 void
+flushPanicHooks()
+{
+    runPanicHooks();
+}
+
+void
 removePanicHook(int id)
 {
     auto &hooks = panicHooks();

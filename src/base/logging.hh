@@ -63,6 +63,15 @@ int addPanicHook(PanicHook hook, void *arg);
 /** Deregister a hook by the id addPanicHook() returned. */
 void removePanicHook(int id);
 
+/**
+ * Run the registered post-mortem hooks and flush every stream
+ * without aborting: the graceful SIGINT/SIGTERM exit path reuses
+ * the panic registry so an interrupted bench leaves the same
+ * diagnostic/stats files as a crashed one. Idempotent per process
+ * (hooks run at most once; a later panic() will not rerun them).
+ */
+void flushPanicHooks();
+
 } // namespace minnow
 
 #define panic(...) \

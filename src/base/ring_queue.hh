@@ -82,6 +82,14 @@ class RingQueue
         return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
     }
 
+    /** Element @p i positions behind the front (0 = front). */
+    const T &
+    at(std::size_t i) const
+    {
+        panic_if(i >= count_, "RingQueue::at out of range");
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
     void
     pop_front()
     {

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "base/ckpt.hh"
+
 namespace minnow
 {
 
@@ -77,6 +79,13 @@ class Rng
     chance(double p)
     {
         return real() < p;
+    }
+
+    /** Serialize the full generator state. */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(state_);
     }
 
   private:

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/types.hh"
 
 namespace minnow
@@ -82,6 +83,22 @@ class SimAlloc
 
     /** Named regions, in allocation order. */
     const std::vector<SimRegion> &regions() const { return regions_; }
+
+    /** Serialize the cursor and the named memory map. */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(cursor_);
+        std::uint64_t n = regions_.size();
+        ck.io(n);
+        if (ck.loading())
+            regions_.resize(std::size_t(n));
+        for (auto &r : regions_) {
+            ck.io(r.name);
+            ck.io(r.base);
+            ck.io(r.bytes);
+        }
+    }
 
   private:
     Addr cursor_;

@@ -77,6 +77,35 @@ StatsGroup::find(const std::string &name) const
     return it == index_.end() ? nullptr : it->second;
 }
 
+void
+StatsGroup::checkpoint(ckpt::Ckpt &ck)
+{
+    // name_ and index_ are identity, recreated at registration time;
+    // only values travel, guarded by per-stat names.
+    ck.transient("name_ index_");
+    std::uint64_t n = stats_.size();
+    ck.io(n);
+    if (ck.loading() && n != stats_.size()) {
+        ck.fail("stats group '" + name_ + "' has " +
+                std::to_string(stats_.size()) +
+                " stats but the checkpoint holds " + std::to_string(n));
+        return;
+    }
+    for (auto &s : stats_) {
+        std::string statName = s->name();
+        ck.io(statName);
+        if (ck.loading() && statName != s->name()) {
+            ck.fail("stats group '" + name_ + "': expected stat '" +
+                    s->name() + "' but the checkpoint holds '" +
+                    statName + "'");
+            return;
+        }
+        s->checkpoint(ck);
+        if (!ck.ok())
+            return;
+    }
+}
+
 //
 // StatsRegistry
 //
@@ -317,6 +346,69 @@ StatsRegistry::sampleEvent(void *arg)
         s->eq->daemonScheduled();
         s->eq->schedule(s->eq->now() + s->interval,
                         &StatsRegistry::sampleEvent, s);
+    }
+}
+
+void
+StatsRegistry::checkpoint(ckpt::Ckpt &ck)
+{
+    // The sampler is an event-queue daemon and is re-armed by the
+    // restored run itself.
+    ck.transient("sampler_");
+    std::uint64_t n = 0;
+    for (const auto &[gname, g] : groups_) {
+        (void)g;
+        if (gname != "hostprof")
+            ++n;
+    }
+    std::uint64_t local = n;
+    ck.io(n);
+    if (ck.loading() && n != local) {
+        ck.fail("checkpoint holds " + std::to_string(n) +
+                " stats groups but the registry has " +
+                std::to_string(local));
+        return;
+    }
+    for (auto &[gname, g] : groups_) {
+        if (gname == "hostprof")
+            continue;
+        std::string name = gname;
+        ck.io(name);
+        if (ck.loading() && name != gname) {
+            ck.fail("expected stats group '" + gname +
+                    "' but the checkpoint holds '" + name + "'");
+            return;
+        }
+        g->checkpoint(ck);
+        if (!ck.ok())
+            return;
+    }
+    std::uint64_t ns = samples_.size();
+    ck.io(ns);
+    if (ck.loading())
+        samples_.resize(std::size_t(ns));
+    for (IntervalSample &is : samples_) {
+        ck.io(is.cycle);
+        std::uint64_t nv = is.values.size();
+        ck.io(nv);
+        if (ck.saving()) {
+            for (auto &[key, v] : is.values) {
+                std::string k = key;
+                ck.io(k);
+                ck.io(v);
+            }
+        } else {
+            is.values.clear();
+            for (std::uint64_t i = 0; i < nv && ck.ok(); ++i) {
+                std::string k;
+                double v = 0;
+                ck.io(k);
+                ck.io(v);
+                is.values.emplace(std::move(k), v);
+            }
+        }
+        if (!ck.ok())
+            return;
     }
 }
 

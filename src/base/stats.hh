@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/types.hh"
 
 namespace minnow
@@ -188,6 +189,17 @@ class Stat
     /** Current (or, for formulas, freshly evaluated) value. */
     virtual double value() const = 0;
 
+    /**
+     * Serialize the stat's *value* (not its identity: name, desc
+     * and kind are recreated by the registering component, and the
+     * registry verifies them against the checkpoint's section).
+     */
+    virtual void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.transient("name_ desc_ kind_");
+    }
+
   private:
     std::string name_;
     std::string desc_;
@@ -219,6 +231,8 @@ class ScalarStat : public Stat
 
     double value() const override { return v_; }
 
+    void checkpoint(ckpt::Ckpt &ck) override { ck.io(v_); }
+
   private:
     double v_ = 0;
 };
@@ -249,6 +263,8 @@ class CounterStat : public Stat
     std::uint64_t count() const { return v_; }
     double value() const override { return double(v_); }
 
+    void checkpoint(ckpt::Ckpt &ck) override { ck.io(v_); }
+
   private:
     std::uint64_t v_ = 0;
 };
@@ -272,6 +288,9 @@ class FormulaStat : public Stat
     }
 
     double value() const override;
+
+    /** Formulas hold no state: they re-derive from their inputs. */
+    void checkpoint(ckpt::Ckpt &ck) override { ck.transient("fn_"); }
 
   private:
     Fn fn_;
@@ -349,6 +368,15 @@ class HistogramStat : public Stat
         sum_ = 0;
     }
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        ck.io(width_);
+        ck.io(counts_);
+        ck.io(total_);
+        ck.io(sum_);
+    }
+
   private:
     std::uint64_t width_;
     std::vector<std::uint64_t> counts_;
@@ -386,6 +414,13 @@ class StatsGroup
     {
         return stats_;
     }
+
+    /**
+     * Serialize every stat's value in registration order, guarded by
+     * the stat names so a structural mismatch is an error rather
+     * than a silent misload.
+     */
+    void checkpoint(ckpt::Ckpt &ck);
 
   private:
     /** Register @p s; fatal() on a duplicate name. */
@@ -462,6 +497,14 @@ class StatsRegistry
     {
         return samples_;
     }
+
+    /**
+     * Serialize all counter/scalar/histogram values plus the interval
+     * samples, in sorted group order. The host-time "hostprof" group
+     * is skipped: its values are nondeterministic by design and would
+     * break byte-identical restore comparisons.
+     */
+    void checkpoint(ckpt::Ckpt &ck);
 
   private:
     struct Sampler

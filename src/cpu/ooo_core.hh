@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "base/ckpt.hh"
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -138,6 +139,15 @@ class SegmentedWindow
 
     std::uint64_t tail() const { return tail_; }
 
+    /** Serialize segments and cursors; symmetric (Segment is POD). */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(segs_);
+        ck.io(head_);
+        ck.io(tail_);
+    }
+
   private:
     struct Segment
     {
@@ -164,6 +174,17 @@ struct SpecTaskSlot
     std::uint64_t seq = 0;
     std::int64_t priority = 0;
     std::uint64_t payload = 0;
+
+    // Per-member: the bool is followed by padding, which must not
+    // leak into a checkpoint stream.
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(valid);
+        ck.io(seq);
+        ck.io(priority);
+        ck.io(payload);
+    }
 };
 
 /** The per-core OOO timing model. */
@@ -249,6 +270,33 @@ class OooCore
      * over the live CoreStats (no hot-path cost).
      */
     void registerStats(StatsGroup &g);
+
+    /**
+     * Serialize the analytic pipeline state: RNG, frontend cursors,
+     * occupancy windows, phase accounting, stats, and the spec slot.
+     * Symmetric — everything here is value state.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        rng_.checkpoint(ck);
+        ck.io(dispatchSlots_);
+        ck.io(minIssue_);
+        ck.io(maxMemComplete_);
+        ck.io(retireCursor_);
+        ck.io(uopIndex_);
+        ck.io(loadIndex_);
+        ck.io(storeIndex_);
+        robWindow_.checkpoint(ck);
+        rsWindow_.checkpoint(ck);
+        lqWindow_.checkpoint(ck);
+        sqWindow_.checkpoint(ck);
+        ck.io(phase_);
+        ck.io(stats_);
+        ck.io(tlPhaseStart_);
+        ck.io(specSlot_);
+        ck.transient("id_ params_ memory_ tl_ tlTrack_");
+    }
 
   private:
     /**

@@ -89,6 +89,37 @@ workerLoop(SimContext &ctx, worklist::Worklist &wl, apps::App &app,
 
 } // anonymous namespace
 
+bool
+runEventLoop(runtime::Machine &machine, const RunConfig &cfg)
+{
+    if (cfg.warmBoundaryHook)
+        cfg.warmBoundaryHook();
+    if (cfg.stopAt)
+        machine.eq.setStopTrigger(cfg.stopAtCycle, cfg.stopAtExec);
+    std::uint64_t budget = cfg.maxEvents;
+    for (;;) {
+        std::uint64_t before = machine.eq.executed();
+        machine.eq.run(budget);
+        if (budget) {
+            std::uint64_t used = machine.eq.executed() - before;
+            budget = used < budget ? budget - used : 1;
+        }
+        if (machine.eq.stopTriggerFired()) {
+            machine.eq.ackStopTrigger();
+            if (cfg.midRunHook)
+                cfg.midRunHook();
+            continue;
+        }
+        break;
+    }
+    if (machine.eq.interrupted()) {
+        if (cfg.interruptHook)
+            cfg.interruptHook();
+        return true;
+    }
+    return false;
+}
+
 RunResult
 collectResult(runtime::Machine &machine, apps::App &app,
               std::uint32_t threads, bool timedOut,
@@ -208,9 +239,14 @@ runParallel(runtime::Machine &machine, apps::App &app,
     for (auto &w : workers)
         w.start();
 
-    machine.eq.run(cfg.maxEvents);
+    // The worklist is caller-owned and run-scoped; expose it as a
+    // checkpoint section only while the run is live.
+    machine.addCkptHook(
+        "worklist", [&wl](ckpt::Ckpt &ck) { wl.checkpoint(ck); });
+    bool interrupted = runEventLoop(machine, cfg);
+    machine.removeCkptHook("worklist");
 
-    bool timedOut = !machine.monitor.terminated();
+    bool timedOut = !interrupted && !machine.monitor.terminated();
     if (timedOut) {
         // Drain remaining events is impossible mid-flight; report
         // and let the Machine be discarded by the caller.
@@ -224,11 +260,12 @@ runParallel(runtime::Machine &machine, apps::App &app,
         pops += s.pops;
     RunResult r = collectResult(machine, app, cfg.threads, timedOut,
                                 pops);
+    r.interrupted = interrupted;
     // Counter providers capture the caller-owned worklist; it may
     // not outlive this run.
     if (machine.timeline)
         machine.timeline->removeProviders(&wl);
-    if (cfg.verify && !timedOut)
+    if (cfg.verify && !timedOut && !interrupted)
         r.verified = app.verify();
     return r;
 }

@@ -14,6 +14,7 @@
 #define MINNOW_GALOIS_EXECUTOR_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "apps/app.hh"
 #include "base/stats.hh"
@@ -41,6 +42,36 @@ struct RunConfig
      * (the high bars of Fig. 3). 0 = unlimited.
      */
     std::uint64_t maxEvents = 400'000'000;
+
+    // ----- checkpoint/restore plumbing (DESIGN.md section 5i) -----
+
+    /**
+     * Invoked after seeding, immediately before simulated time
+     * starts: the warm-boundary checkpoint point (save there, or
+     * witness-validate a warm restore against it).
+     */
+    std::function<void()> warmBoundaryHook;
+
+    /**
+     * When stopAt is set, the executor arms
+     * EventQueue::setStopTrigger(stopAtCycle, stopAtExec) and calls
+     * midRunHook once the trigger fires — after eq.run() returns,
+     * so on the normalized between-events state — then resumes the
+     * run with its remaining event budget. Drives
+     * --checkpoint-after rescue saves and restore-replay witness
+     * validation.
+     */
+    bool stopAt = false;
+    Cycle stopAtCycle = 0;
+    std::uint64_t stopAtExec = 0;
+    std::function<void()> midRunHook;
+
+    /**
+     * Invoked once when a signal interrupted the run, while all
+     * run-scoped state (worklists, Minnow engines) is still live —
+     * the rescue-checkpoint point for graceful SIGINT/SIGTERM.
+     */
+    std::function<void()> interruptHook;
 };
 
 /** Outcome of one simulated run. */
@@ -52,6 +83,7 @@ struct RunResult
     std::uint64_t pops = 0;        //!< successful dequeues.
     bool verified = false;
     bool timedOut = false;
+    bool interrupted = false;      //!< SIGINT/SIGTERM clean stop.
 
     double l2Mpki = 0;             //!< L2 demand misses / kilo-instr.
     mem::MemStats mem;             //!< aggregated hierarchy stats.
@@ -123,6 +155,14 @@ RunResult runParallel(runtime::Machine &machine, apps::App &app,
 RunResult collectResult(runtime::Machine &machine, apps::App &app,
                         std::uint32_t threads, bool timedOut,
                         std::uint64_t pops);
+
+/**
+ * Drive machine.eq.run() honoring the RunConfig checkpoint hooks:
+ * warm-boundary hook, stop-trigger mid-run hook with
+ * remaining-budget resume. Shared by runParallel and runMinnow.
+ * @return true if a signal interrupted the run cleanly.
+ */
+bool runEventLoop(runtime::Machine &machine, const RunConfig &cfg);
 
 } // namespace minnow::galois
 

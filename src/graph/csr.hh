@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/logging.hh"
 #include "base/sim_alloc.hh"
 #include "base/types.hh"
@@ -126,6 +127,24 @@ class CsrGraph
 
     /** Edge record size per the paper (16 B). */
     static constexpr std::uint32_t kEdgeBytes = 16;
+
+    /**
+     * Serialize topology and simulated layout *materially*: a warm
+     * restore loads these arrays instead of regenerating the graph,
+     * which is the bulk of a cold start's setup time. Generators are
+     * deterministic, so a cold-generated graph CRC-matches the
+     * checkpoint's section byte for byte.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(rowPtr_);
+        ck.io(dst_);
+        ck.io(weight_);
+        ck.io(nodeBase_);
+        ck.io(edgeBase_);
+        ck.io(nodeBytes_);
+    }
 
   private:
     std::vector<std::uint64_t> rowPtr_;

@@ -14,11 +14,13 @@
 #ifndef MINNOW_HARNESS_WORKLOADS_HH
 #define MINNOW_HARNESS_WORKLOADS_HH
 
+#include <csignal>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app.hh"
+#include "base/ckpt.hh"
 #include "bsp/bsp_engine.hh"
 #include "galois/executor.hh"
 #include "graph/csr.hh"
@@ -38,6 +40,9 @@ struct Workload
     std::uint32_t lgDelta = 3; //!< OBIM bucket interval.
     std::uint32_t nodeBytes = 32;
     bool usesPriority = true;  //!< benefits from ordering (paper).
+    double scale = 1.0;        //!< scale it was built at.
+    std::uint64_t seed = 1;    //!< generator seed it was built with.
+    bool warmLoaded = false;   //!< graph came from a checkpoint.
 };
 
 /** The paper's seven workloads, in Fig. 16 order. */
@@ -49,6 +54,50 @@ const std::vector<std::string> &workloadNames();
  */
 Workload makeWorkload(const std::string &name, double scale = 1.0,
                       std::uint64_t seed = 1);
+
+/**
+ * Build a workload from a warm checkpoint: validates the file
+ * (CRC/version/meta) and loads the graph arrays materially instead
+ * of regenerating them. Any failure — missing file, corrupt
+ * sections, meta describing a different workload — warns and falls
+ * back to cold generation ("warn, never wrong"); check
+ * Workload::warmLoaded for which path was taken.
+ */
+Workload makeWorkloadWarm(const std::string &name, double scale,
+                          std::uint64_t seed,
+                          const std::string &ckptPath);
+
+/**
+ * The "meta" checkpoint section: which run produced the file and
+ * where its resume anchor sits. kind 0 = warm boundary (taken
+ * before simulated time started), 1 = rescue (mid-run anchor; a
+ * restore replays deterministically to (cycle, executed) and
+ * witness-validates there).
+ */
+struct CkptMeta
+{
+    std::uint8_t kind = 0;
+    Cycle cycle = 0;
+    std::uint64_t executed = 0;
+    std::string workload;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    std::string config;
+    std::uint32_t threads = 0;
+
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(kind);
+        ck.io(cycle);
+        ck.io(executed);
+        ck.io(workload);
+        ck.io(scale);
+        ck.io(seed);
+        ck.io(config);
+        ck.io(threads);
+    }
+};
 
 /** Scheduler/hardware configurations runnable by the harness. */
 enum class Config
@@ -87,6 +136,25 @@ struct RunSpec
     MachineConfig machine;      //!< defaults to scaledMachine().
     bool verify = true;
     std::uint64_t maxEvents = 400'000'000;
+
+    /** Write a checkpoint here ("" = off); see checkpointAfter. */
+    std::string checkpointOut;
+    /** Restore/validate from this checkpoint ("" = off). */
+    std::string checkpointIn;
+    /**
+     * When to save: "warmup" = at the warm boundary (right before
+     * simulated time starts), or a cycle count N = a mid-run rescue
+     * anchor at the first event boundary at or after cycle N.
+     */
+    std::string checkpointAfter = "warmup";
+
+    /**
+     * Signal-handler flag for graceful SIGINT/SIGTERM (null = off):
+     * the event loop polls it and stops cleanly at an event
+     * boundary; a rescue checkpoint is written when checkpointOut
+     * is set.
+     */
+    const volatile std::sig_atomic_t *interruptFlag = nullptr;
 
     RunSpec() : machine(scaledMachine()) {}
 };

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 
+#include "base/ckpt.hh"
 #include "base/types.hh"
 
 namespace minnow::mem
@@ -79,6 +80,18 @@ class BandwidthMeter
         std::uint64_t idx = t >> WindowBits;
         const Slot &s = slots_[idx % RingSize];
         return s.epoch == idx ? s.used : 0;
+    }
+
+    // Per-member: Slot carries 4 padding bytes after `used`, which
+    // must not leak into a checkpoint stream.
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(capacity_);
+        for (Slot &s : slots_) {
+            ck.io(s.epoch);
+            ck.io(s.used);
+        }
     }
 
   private:

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/bits.hh"
+#include "base/ckpt.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "sim/config.hh"
@@ -34,6 +35,21 @@ struct CacheLine
     bool prefetchHw = false; //!< by a HW prefetcher (no credit).
     std::uint64_t lru = 0;   //!< last-touch stamp for replacement.
     Cycle readyAt = 0;       //!< fill-in-flight until this cycle.
+
+    // Per-member (the bool run leaves padding before lru, and
+    // padding bytes must never reach a checkpoint stream).
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(tag);
+        ck.io(valid);
+        ck.io(dirty);
+        ck.io(exclusive);
+        ck.io(prefetch);
+        ck.io(prefetchHw);
+        ck.io(lru);
+        ck.io(readyAt);
+    }
 };
 
 /** Result of a fill: which line (if any) was evicted. */
@@ -159,6 +175,21 @@ class CacheArray
 
     std::uint32_t numSets() const { return sets_; }
     std::uint32_t numWays() const { return assoc_; }
+
+    /**
+     * Serialize the full array state. CacheLine is a trivially
+     * copyable POD, so the whole frame vector goes through in one
+     * bulk transfer; symmetric (loads as well as saves).
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(assoc_);
+        ck.io(sets_);
+        ck.io(setMask_);
+        ck.io(stamp_);
+        ck.io(lines_);
+    }
 
   private:
     CacheLine *

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/bits.hh"
+#include "base/ckpt.hh"
 #include "base/types.hh"
 #include "mem/bandwidth.hh"
 #include "sim/config.hh"
@@ -71,6 +72,20 @@ class Dram
     {
         accesses_ = 0;
         queueCycles_ = 0;
+    }
+
+    /**
+     * Serialize counters and per-channel meter occupancy in bulk.
+     * params_/serviceCycles_ are construction-time config, covered by
+     * the machine-level config fingerprint.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(accesses_);
+        ck.io(queueCycles_);
+        ck.io(channels_);
+        ck.transient("params_ serviceCycles_");
     }
 
   private:

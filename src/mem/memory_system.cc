@@ -632,6 +632,59 @@ MemorySystem::registerStats(StatsRegistry &reg)
               [this] { return double(dram_.queueCycles()); });
 }
 
+void
+MemorySystem::checkpoint(ckpt::Ckpt &ck)
+{
+    auto ioArrays = [&ck](std::vector<CacheArray> &v) {
+        std::uint64_t n = v.size();
+        ck.io(n);
+        if (ck.loading() && n != v.size()) {
+            ck.fail("cache array count mismatch");
+            return;
+        }
+        for (CacheArray &a : v)
+            a.checkpoint(ck);
+    };
+    ioArrays(l1_);
+    ioArrays(l2_);
+    ioArrays(l3_);
+
+    auto ioAddrMap = [&ck](auto &m) {
+        using Mapped = typename std::decay_t<decltype(m)>::mapped_type;
+        std::uint64_t n = m.size();
+        ck.io(n);
+        if (ck.saving()) {
+            std::vector<Addr> keys;
+            keys.reserve(m.size());
+            for (const auto &[k, v] : m)
+                keys.push_back(k);
+            std::sort(keys.begin(), keys.end());
+            for (Addr k : keys) {
+                ck.io(k);
+                ck.io(m.at(k));
+            }
+        } else {
+            m.clear();
+            for (std::uint64_t i = 0; i < n && ck.ok(); ++i) {
+                Addr k = 0;
+                ck.io(k);
+                Mapped v{};
+                ck.io(v);
+                m.emplace(k, v);
+            }
+        }
+    };
+    ioAddrMap(directory_);
+    ioAddrMap(atomicBusy_);
+
+    noc_.checkpoint(ck);
+    dram_.checkpoint(ck);
+    ck.io(stats_);
+    ck.io(pfLinesTracked_);
+    ck.transient("cfg_ creditHook_ faults_ hwPrefetchers_ oracle_"
+                 " pfScratch_ inPrefetchIssue_ statsReg_");
+}
+
 bool
 MemorySystem::inL1(CoreId core, Addr addr) const
 {

@@ -206,12 +206,31 @@ class MemorySystem
     bool inL2(CoreId core, Addr addr) const;
     bool inL3(Addr addr) const;
 
+    /**
+     * Serialize the hierarchy: every cache array, the directory and
+     * atomic serialization points (sorted by line for determinism),
+     * NoC/DRAM meters and per-core counters. Symmetric. Hardware
+     * prefetcher tables are transient: deterministic replay retrains
+     * them, and any divergence they could cause shows up in the cache
+     * and stats sections of the witness.
+     */
+    void checkpoint(ckpt::Ckpt &ck);
+
   private:
     /** Directory entry for a line cached somewhere on chip. */
     struct DirEntry
     {
         std::uint64_t sharers = 0; //!< bitmask of cores with the line.
         std::int32_t owner = -1;   //!< core with a dirty copy, or -1.
+
+        // Per-member: 4 tail padding bytes must not leak into a
+        // checkpoint stream.
+        void
+        checkpoint(ckpt::Ckpt &ck)
+        {
+            ck.io(sharers);
+            ck.io(owner);
+        }
     };
 
     std::uint32_t bankOf(Addr lnum) const;

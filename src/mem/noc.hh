@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/types.hh"
 #include "mem/bandwidth.hh"
 #include "sim/config.hh"
@@ -49,6 +50,22 @@ class Noc
         messages_ = 0;
         totalHops_ = 0;
         contention_ = 0;
+    }
+
+    /**
+     * Serialize counters and per-link meter occupancy (BandwidthMeter
+     * is trivially copyable, so the link vector transfers in bulk).
+     * params_/width_ are construction-time config, covered by the
+     * machine-level config fingerprint.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(messages_);
+        ck.io(totalHops_);
+        ck.io(contention_);
+        ck.io(links_);
+        ck.transient("params_ width_");
     }
 
   private:

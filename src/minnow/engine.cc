@@ -1795,4 +1795,62 @@ MinnowEngine::prefetchEdgeThreadlet(EdgeId e, EdgeId endEdge,
     finishChild(gate, usedReserved);
 }
 
+void
+MinnowEngine::checkpoint(ckpt::Ckpt &ck)
+{
+    if (ck.loading()) {
+        ck.fail("minnow engine sections are replay-validated, not"
+                " loadable");
+        return;
+    }
+    ck.io(core_);
+    ck.io(localQ_);
+    ck.io(localBucket_);
+    ck.io(localReserved_);
+    ck.io(threadletSlotsFree_);
+    ck.io(prefetchSlotsFree_);
+    ck.io(loadBufWlFree_);
+    ck.io(loadBufPfFree_);
+    ck.io(creditsFree_);
+    ck.io(cuBusyUntil_);
+    ck.io(daemonRunning_);
+    std::uint64_t npf = pendingPrefetch_.size();
+    ck.io(npf);
+    for (std::uint64_t i = 0; i < npf; ++i) {
+        auto entry = pendingPrefetch_.at(std::size_t(i));
+        ck.io(entry.first);
+        ck.io(entry.second);
+    }
+    ck.io(insertSeq_);
+    ck.io(consumedSeq_);
+    ck.io(activePrefetchTasks_);
+    ck.io(prefetchWindow_);
+    ck.io(spillBuf_);
+    ck.io(spillDrainActive_);
+    std::uint64_t npb = pushBufs_.size();
+    ck.io(npb);
+    for (PushBuf &pb : pushBufs_) {
+        ck.io(pb.items);
+        ck.io(pb.seq);
+        ck.io(pb.deadlineArmed);
+    }
+    ck.io(creditPending_);
+    ck.io(creditSeq_);
+    ck.io(creditDeadlineArmed_);
+    ck.io(spec_);
+    ck.io(specNext_);
+    ck.io(stats_);
+    ck.io(dead_);
+    ck.io(stallUntil_);
+    // Pointers into the machine, coroutine frames/handles, waiter
+    // queues and timeline/stat bookkeeping are rebuilt by replay.
+    ck.transient("machine_ global_ program_ params_ blockedWorkers_"
+                 " threadletSlotWaiters_ loadBufWlWaiters_"
+                 " loadBufPfWaiters_ creditWaiters_ parkedDaemon_"
+                 " tlEngine_ tlCreditTrack_ tlLastCredits_"
+                 " tlLaneTracks_ tlFreeLanes_ dequeueLatencyHist_"
+                 " threadletOccupancyHist_ statsGroupName_"
+                 " threadlets_ faultTasks_");
+}
+
 } // namespace minnow::minnowengine

@@ -241,6 +241,15 @@ class MinnowEngine
     /** True while the engine cannot serve its cores. */
     bool faulted() const { return dead_ || stalled(); }
 
+    /**
+     * Witness serialization of the engine's deterministic state:
+     * local queue, resource pools, batching buffers, spec slots and
+     * counters, in a fixed order. Save-only (coroutine state is
+     * rebuilt by deterministic replay; restore validates by
+     * re-serializing and comparing CRCs — DESIGN.md section 5i).
+     */
+    void checkpoint(ckpt::Ckpt &ck);
+
     const EngineStats &stats() const { return stats_; }
     std::uint32_t localQueueSize() const
     {
@@ -516,6 +525,15 @@ class MinnowEngine
     {
         bool inFlight = false;
         std::uint64_t seq = 0;
+
+        // Per-member: 7 padding bytes after the bool must not leak
+        // into a checkpoint stream.
+        void
+        checkpoint(ckpt::Ckpt &ck)
+        {
+            ck.io(inFlight);
+            ck.io(seq);
+        }
     };
     std::vector<SpecState> spec_;
     std::uint32_t specNext_ = 0; //!< round-robin deposit cursor.

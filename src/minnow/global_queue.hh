@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/sim_alloc.hh"
 #include "runtime/task.hh"
 #include "worklist/worklist.hh"
@@ -107,6 +108,54 @@ class MinnowGlobalQueue
     std::uint64_t spills() const { return spillCount_; }
     std::uint64_t fills() const { return fillCount_; }
     std::uint64_t softwarePops() const { return softwarePops_; }
+
+    /**
+     * Serialize the full logical content (sorted bucket order, items
+     * in queue order) plus counters. Symmetric: the deques hold
+     * values, not pointers, so this section loads as well as saves.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(lg_);
+        ck.io(packages_);
+        ck.io(mapLine_);
+        ck.io(size_);
+        ck.io(spillCount_);
+        ck.io(fillCount_);
+        ck.io(softwarePops_);
+        std::uint64_t nb = buckets_.size();
+        ck.io(nb);
+        if (ck.saving()) {
+            for (auto &[key, b] : buckets_) {
+                std::int64_t k = key;
+                ck.io(k);
+                std::uint64_t ns = b.sub.size();
+                ck.io(ns);
+                for (SubList &sl : b.sub) {
+                    ck.io(sl.base);
+                    ck.io(sl.itemsBase);
+                    ck.io(sl.items);
+                }
+            }
+        } else {
+            buckets_.clear();
+            for (std::uint64_t i = 0; i < nb && ck.ok(); ++i) {
+                std::int64_t k = 0;
+                ck.io(k);
+                Bucket &b = buckets_[k];
+                std::uint64_t ns = 0;
+                ck.io(ns);
+                b.sub.resize(std::size_t(ns));
+                for (SubList &sl : b.sub) {
+                    ck.io(sl.base);
+                    ck.io(sl.itemsBase);
+                    ck.io(sl.items);
+                }
+            }
+        }
+        ck.transient("alloc_");
+    }
 
   private:
     struct SubList

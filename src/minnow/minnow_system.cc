@@ -74,10 +74,26 @@ MinnowSystem::MinnowSystem(Machine *machine,
             timeline::Cat::Worklist, "worklist.globalDepth", this,
             [this] { return double(global_.size()); });
     }
+    // Checkpoint sections for the run-scoped scheduler state: the
+    // software global queue (symmetric) and each engine (save-only
+    // witness; see DESIGN.md section 5i).
+    machine->addCkptHook("globalq", [this](ckpt::Ckpt &ck) {
+        global_.checkpoint(ck);
+    });
+    for (std::size_t e = 0; e < engines_.size(); ++e) {
+        MinnowEngine *raw = engines_[e].get();
+        machine->addCkptHook("minnow" + std::to_string(e),
+                             [raw](ckpt::Ckpt &ck) {
+                                 raw->checkpoint(ck);
+                             });
+    }
 }
 
 MinnowSystem::~MinnowSystem()
 {
+    machine_->removeCkptHook("globalq");
+    for (std::size_t e = 0; e < engines_.size(); ++e)
+        machine_->removeCkptHook("minnow" + std::to_string(e));
     machine_->stats.removeGroup("worklist");
     // Providers capture this (stack-local) system; the timeline
     // outlives it.
@@ -288,13 +304,13 @@ runMinnow(Machine &machine, apps::App &app,
     for (auto &w : workers)
         w.start();
 
-    machine.eq.run(cfg.maxEvents);
+    bool interrupted = galois::runEventLoop(machine, cfg);
 
     // The credit hook captures the (stack-local) MinnowSystem;
     // detach it before the system goes out of scope.
     machine.memory.setCreditHook(nullptr);
 
-    bool timedOut = !machine.monitor.terminated();
+    bool timedOut = !interrupted && !machine.monitor.terminated();
     if (timedOut) {
         warn("minnow run of %s timed out after %llu events",
              app.name().c_str(),
@@ -305,9 +321,10 @@ runMinnow(Machine &machine, apps::App &app,
         pops += s.pops;
     galois::RunResult r = galois::collectResult(
         machine, app, cfg.threads, timedOut, pops);
+    r.interrupted = interrupted;
     if (engineTotals)
         *engineTotals = sys.totals();
-    if (cfg.verify && !timedOut)
+    if (cfg.verify && !timedOut && !interrupted)
         r.verified = app.verify();
     return r;
 }

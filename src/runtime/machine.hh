@@ -11,7 +11,10 @@
 #ifndef MINNOW_RUNTIME_MACHINE_HH
 #define MINNOW_RUNTIME_MACHINE_HH
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -21,6 +24,7 @@
 #include "cpu/ooo_core.hh"
 #include "mem/memory_system.hh"
 #include "runtime/work_monitor.hh"
+#include "sim/checkpoint.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
@@ -146,6 +150,138 @@ class Machine
         return n;
     }
 
+    // -----------------------------------------------------------
+    // Checkpoint/restore (DESIGN.md section 5i).
+    // -----------------------------------------------------------
+
+    /**
+     * Register a run-scoped checkpoint section (worklist, app,
+     * graph, resume meta — components the Machine does not own).
+     * Sections are emitted in registration order; re-registering a
+     * name replaces the previous hook.
+     */
+    void
+    addCkptHook(const std::string &name,
+                std::function<void(ckpt::Ckpt &)> fn)
+    {
+        removeCkptHook(name);
+        ckptHooks_.emplace_back(name, std::move(fn));
+    }
+
+    void
+    removeCkptHook(const std::string &name)
+    {
+        std::erase_if(ckptHooks_,
+                      [&](const auto &h) { return h.first == name; });
+    }
+
+    /**
+     * Everything that pins a checkpoint to one machine build: the
+     * hardware description plus the fault spec/seed. A checkpoint
+     * taken under a different fingerprint is rejected (the harness
+     * then degrades to cold start).
+     */
+    std::string
+    configFingerprint() const
+    {
+        return cfg.describe() + "\nfaults=" + cfg.faultSpec +
+               " faultSeed=" + std::to_string(cfg.faultSeed);
+    }
+
+    /** Serialize every component into @p w, one section each. */
+    void
+    checkpointSections(ckpt::Writer &w)
+    {
+        {
+            std::vector<std::uint8_t> buf;
+            ckpt::Ckpt ck = ckpt::Ckpt::saver(&buf);
+            std::string fp = configFingerprint();
+            ck.io(fp);
+            w.add("config", std::move(buf));
+        }
+        w.add("alloc", ckpt::serialize(alloc));
+        w.add("eq", ckpt::serialize(eq));
+        w.add("monitor", ckpt::serialize(monitor));
+        w.add("mem", ckpt::serialize(memory));
+        for (CoreId i = 0; i < cfg.numCores; ++i) {
+            w.add("core" + std::to_string(i),
+                  ckpt::serialize(*cores[i]));
+        }
+        if (faults)
+            w.add("faults", ckpt::serialize(*faults));
+        w.add("stats", ckpt::serialize(stats));
+        for (auto &[name, fn] : ckptHooks_) {
+            std::vector<std::uint8_t> buf;
+            ckpt::Ckpt ck = ckpt::Ckpt::saver(&buf);
+            fn(ck);
+            w.add(name, std::move(buf));
+        }
+    }
+
+    /**
+     * Write a checkpoint of the current state to @p path (atomic:
+     * temp file + rename). @return "" on success, else a one-line
+     * error description.
+     */
+    std::string
+    save(const std::string &path)
+    {
+        ckpt::Writer w;
+        checkpointSections(w);
+        return w.writeFile(path);
+    }
+
+    /**
+     * Open @p path into @p r and verify it belongs to this machine:
+     * container magic/version/CRCs (Reader::openFile) plus the
+     * config fingerprint. On success the harness loads the material
+     * sections (graph, meta) from @p r and witness-validates the
+     * rest with validateAgainst(). @return "" or a diagnostic.
+     */
+    std::string
+    restore(const std::string &path, ckpt::Reader &r)
+    {
+        std::string err = r.openFile(path);
+        if (!err.empty())
+            return err;
+        const ckpt::Section *cs = r.find("config");
+        if (!cs)
+            return "checkpoint has no config section";
+        ckpt::Ckpt ck =
+            ckpt::Ckpt::loader(cs->bytes.data(), cs->bytes.size());
+        std::string fp;
+        ck.io(fp);
+        if (!ck.ok())
+            return "checkpoint config section is malformed: " +
+                   ck.error();
+        if (fp != configFingerprint()) {
+            return "checkpoint was taken under a different machine"
+                   " configuration";
+        }
+        return "";
+    }
+
+    /**
+     * Witness validation: re-serialize the live state and compare
+     * byte-for-byte against the sections in @p r. @return the names
+     * of mismatched or missing sections (empty = state identical).
+     */
+    std::vector<std::string>
+    validateAgainst(const ckpt::Reader &r)
+    {
+        ckpt::Writer w;
+        checkpointSections(w);
+        std::vector<std::string> bad;
+        for (const ckpt::Section &s : w.sections()) {
+            const ckpt::Section *o = r.find(s.name);
+            if (!o)
+                bad.push_back(s.name + " (missing)");
+            else if (o->bytes != s.bytes)
+                bad.push_back(s.name);
+        }
+        return bad;
+    }
+
     MachineConfig cfg;
     EventQueue eq;
     SimAlloc alloc;
@@ -201,6 +337,11 @@ class Machine
     }
 
     int panicHookId_ = 0;
+
+    /** Run-scoped checkpoint sections, in registration order. */
+    std::vector<
+        std::pair<std::string, std::function<void(ckpt::Ckpt &)>>>
+        ckptHooks_;
 
     /** Register sim/core/l2/mem groups over the built components. */
     void

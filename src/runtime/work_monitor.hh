@@ -32,6 +32,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/logging.hh"
 #include "base/trace.hh"
 #include "base/types.hh"
@@ -209,6 +210,21 @@ class WorkMonitor
      * this so another parked waiter gets the wakeup instead.
      */
     void rewake(std::uint64_t n = 1) { wake(n); }
+
+    /**
+     * Serialize the work/idle accounting. Parked coroutine handles
+     * and termination hooks are rebuilt by the restored run itself.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(workers_);
+        ck.io(pending_);
+        ck.io(stealable_);
+        ck.io(idle_);
+        ck.io(terminated_);
+        ck.transient("eq_ waiters_ engineWaiters_ terminationHooks_");
+    }
 
     /** Reset between runs. */
     void

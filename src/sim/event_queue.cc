@@ -39,6 +39,7 @@ EventQueue::run(std::uint64_t maxEvents)
              "EventQueue::run() re-entered from inside an event");
     running_ = true;
     stopped_ = false;
+    interrupted_ = false;
     if (prof_)
         prof_->beginRun();
 
@@ -50,6 +51,11 @@ EventQueue::run(std::uint64_t maxEvents)
     std::uint64_t budget = budget0;
 
     while (size_ != 0 && budget != 0 && !stopped_) {
+        // Checkpoint triggers and the signal-interrupt poll live in
+        // a cold helper behind one almost-always-false flag so the
+        // hot path pays a single predicted branch.
+        if (triggersArmed_ && pollTriggers()) [[unlikely]]
+            break;
         Bucket &b = buckets_[std::size_t(now_) & kWheelMask];
         if (cursor_ >= b.size()) {
             // Bucket for now_ fully drained: recycle its storage
@@ -73,6 +79,7 @@ EventQueue::run(std::uint64_t maxEvents)
             ev.fn(ev.arg);
         else
             std::coroutine_handle<>::from_address(ev.arg).resume();
+        ++executed_;
     }
 
     // Normalize before returning so the occupancy bitmap is exact
@@ -102,6 +109,30 @@ EventQueue::run(std::uint64_t maxEvents)
             diagHook_("event budget exhausted");
     }
     return budget0 - budget;
+}
+
+bool
+EventQueue::pollTriggers()
+{
+    // One-shot stop trigger: halts between events and schedules
+    // nothing, so a run with the trigger armed executes the same
+    // event sequence as one without — the caller can run() again to
+    // continue bit-identically.
+    if (stopTriggerArmed_ && now_ >= stopAtCycle_ &&
+        executed_ >= stopAtExec_) {
+        stopTriggerArmed_ = false;
+        stopTriggerFired_ = true;
+        triggersArmed_ = interruptSource_ != nullptr;
+        return true;
+    }
+    // Poll the signal flag only every 1024 events: a volatile read
+    // per event would be measurable on the simspeed microbenchmark.
+    if (interruptSource_ && (executed_ & 1023) == 0 &&
+        *interruptSource_ != 0) {
+        interrupted_ = true;
+        return true;
+    }
+    return false;
 }
 
 void

@@ -30,11 +30,13 @@
 
 #include <array>
 #include <coroutine>
+#include <csignal>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
 
@@ -151,6 +153,59 @@ class EventQueue
     /** True if stop() ended the last run() call. */
     bool stopped() const { return stopped_; }
 
+    /** Events fully executed since construction (or reset()). */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * One-shot: stop run() at the first event boundary where both
+     * now() >= @p when and executed() >= @p execCount. The check
+     * runs at the top of the run loop — between events, never from
+     * inside one, and scheduling nothing — so arming it perturbs no
+     * event ordering, sequence numbers, or daemon accounting, and
+     * the caller may simply call run() again to continue.
+     *
+     * The two-coordinate condition makes the stop point exactly
+     * reproducible: a replay arms (savedCycle, savedExec) from the
+     * checkpoint and halts at the identical boundary, including the
+     * clock-advance position within the loop (cycle alone is
+     * ambiguous while the clock catches up to the anchor;
+     * executed-count alone fires before pending clock advances).
+     * The `--checkpoint-after=N` save side arms (N, 0).
+     */
+    void
+    setStopTrigger(Cycle when, std::uint64_t execCount)
+    {
+        stopAtCycle_ = when;
+        stopAtExec_ = execCount;
+        stopTriggerArmed_ = true;
+        stopTriggerFired_ = false;
+        triggersArmed_ = true;
+    }
+
+    /** True once the stop trigger has halted a run(). */
+    bool stopTriggerFired() const { return stopTriggerFired_; }
+
+    /** Consume the fired flag so a resume loop can run() again. */
+    void ackStopTrigger() { stopTriggerFired_ = false; }
+
+    /**
+     * Point the run loop at a signal-handler flag (null detaches).
+     * The flag is polled every 1024 events; when it becomes nonzero,
+     * run() returns at the next event boundary with interrupted()
+     * true so the caller can flush stats and write a rescue
+     * checkpoint. Polling at event boundaries keeps the interrupted
+     * prefix of the run bit-identical to an uninterrupted one.
+     */
+    void
+    setInterruptSource(const volatile std::sig_atomic_t *src)
+    {
+        interruptSource_ = src;
+        triggersArmed_ = true;
+    }
+
+    /** True if the interrupt source ended the last run() call. */
+    bool interrupted() const { return interrupted_; }
+
     /**
      * Reset to a freshly-constructed state: time zero, stop flag and
      * diagnostic hook cleared. The queue must be empty and must not
@@ -168,6 +223,44 @@ class EventQueue
         cursor_ = 0;
         stopped_ = false;
         diagHook_ = nullptr;
+        executed_ = 0;
+        interrupted_ = false;
+        stopTriggerArmed_ = false;
+        stopTriggerFired_ = false;
+        triggersArmed_ = interruptSource_ != nullptr;
+    }
+
+    /**
+     * Serialize the deterministic scheduling coordinates: the clock,
+     * pending/daemon counts, the intra-bucket drain position and the
+     * overflow tie-break sequence. The events themselves (bucket and
+     * heap contents) hold coroutine addresses and cannot be
+     * serialized; a restore replays deterministically to the same
+     * coordinates instead, and this section is the witness it is
+     * compared against (DESIGN.md section 5i).
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(now_);
+        std::uint64_t v = size_;
+        ck.io(v);
+        if (ck.loading())
+            size_ = std::size_t(v);
+        v = daemons_;
+        ck.io(v);
+        if (ck.loading())
+            daemons_ = std::size_t(v);
+        v = cursor_;
+        ck.io(v);
+        if (ck.loading())
+            cursor_ = std::size_t(v);
+        ck.io(farSeq_);
+        ck.io(executed_);
+        ck.transient("buckets_ occupied_ far_ stopped_ running_"
+                     " diagHook_ prof_ interrupted_ interruptSource_"
+                     " triggersArmed_ stopAtCycle_ stopAtExec_"
+                     " stopTriggerArmed_ stopTriggerFired_");
     }
 
   private:
@@ -223,6 +316,12 @@ class EventQueue
     void advance();
 
     /**
+     * Cold path for the loop-top trigger/interrupt checks; returns
+     * true when the interrupt source asks run() to stop.
+     */
+    bool pollTriggers();
+
+    /**
      * Earliest occupied bucket cycle strictly after now_. At least
      * one wheel event beyond now_ must exist.
      */
@@ -244,6 +343,16 @@ class EventQueue
     bool running_ = false; //!< run() re-entrancy guard
     std::function<void(const char *)> diagHook_;
     HostProfiler *prof_ = nullptr;
+
+    std::uint64_t executed_ = 0; //!< events fully executed
+    bool interrupted_ = false;
+    /** True while the stop trigger or an interrupt source is armed. */
+    bool triggersArmed_ = false;
+    const volatile std::sig_atomic_t *interruptSource_ = nullptr;
+    Cycle stopAtCycle_ = 0;
+    std::uint64_t stopAtExec_ = 0;
+    bool stopTriggerArmed_ = false;
+    bool stopTriggerFired_ = false;
 };
 
 } // namespace minnow

@@ -24,45 +24,44 @@ trim(const std::string &s)
     return s.substr(b, e - b);
 }
 
-std::vector<std::string>
-split(const std::string &s, char sep)
+/**
+ * Absolute spec offset of token @p tok inside @p text (which itself
+ * starts at @p base in the spec). Searches from @p from so repeated
+ * tokens resolve to the occurrence being parsed.
+ */
+std::size_t
+tokenOffset(const std::string &text, const std::string &tok,
+            std::size_t base, std::size_t from = 0)
 {
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    for (;;) {
-        std::size_t pos = s.find(sep, start);
-        if (pos == std::string::npos) {
-            out.push_back(s.substr(start));
-            return out;
-        }
-        out.push_back(s.substr(start, pos - start));
-        start = pos + 1;
-    }
+    if (tok.empty())
+        return base + from;
+    std::size_t pos = text.find(tok, from);
+    return base + (pos == std::string::npos ? from : pos);
 }
 
 std::uint64_t
-parseUint(const std::string &clause, const std::string &key,
-          const std::string &value)
+parseUint(const std::string &key, const std::string &value,
+          std::size_t off)
 {
     char *end = nullptr;
     std::uint64_t v = std::strtoull(value.c_str(), &end, 0);
     fatal_if(end == value.c_str() || *end != '\0',
-             "fault clause '%s': bad value '%s' for key '%s'",
-             clause.c_str(), value.c_str(), key.c_str());
+             "fault spec: bad value '%s' for key '%s' at offset %zu",
+             value.c_str(), key.c_str(), off);
     return v;
 }
 
 double
-parseProb(const std::string &clause, const std::string &value)
+parseProb(const std::string &value, std::size_t off)
 {
     char *end = nullptr;
     double p = std::strtod(value.c_str(), &end);
     fatal_if(end == value.c_str() || *end != '\0',
-             "fault clause '%s': bad probability '%s'",
-             clause.c_str(), value.c_str());
+             "fault spec: bad probability '%s' at offset %zu",
+             value.c_str(), off);
     fatal_if(p < 0.0 || p > 1.0,
-             "fault clause '%s': probability %s outside [0, 1]",
-             clause.c_str(), value.c_str());
+             "fault spec: probability '%s' at offset %zu is outside "
+             "[0, 1]", value.c_str(), off);
     return p;
 }
 
@@ -101,11 +100,11 @@ FaultClause::kindName() const
 }
 
 FaultClause
-FaultInjector::parseClause(const std::string &text)
+FaultInjector::parseClause(const std::string &text, std::size_t base)
 {
-    std::string clause = trim(text);
-    std::size_t colon = clause.find(':');
-    std::string kind = trim(clause.substr(0, colon));
+    std::size_t colon = text.find(':');
+    std::string kind = trim(text.substr(0, colon));
+    std::size_t kindOff = tokenOffset(text, kind, base);
 
     FaultClause c;
     bool needsCore = false;
@@ -125,45 +124,59 @@ FaultInjector::parseClause(const std::string &text)
         c.kind = FaultClause::Kind::CreditStarve;
         needsCore = true;
     } else {
-        fatal("unknown fault kind '%s' in clause '%s'", kind.c_str(),
-              clause.c_str());
+        fatal("fault spec: unknown fault kind '%s' at offset %zu",
+              kind.c_str(), kindOff);
     }
 
     if (colon != std::string::npos) {
-        for (const std::string &kvText :
-             split(clause.substr(colon + 1), ',')) {
-            std::string kv = trim(kvText);
+        std::size_t start = colon + 1;
+        while (start <= text.size()) {
+            std::size_t comma = text.find(',', start);
+            std::size_t end =
+                comma == std::string::npos ? text.size() : comma;
+            std::string kv = trim(text.substr(start, end - start));
+            std::size_t kvOff = tokenOffset(text, kv, base, start);
             std::size_t eq = kv.find('=');
-            fatal_if(eq == std::string::npos,
-                     "fault clause '%s': expected key=value, got "
-                     "'%s'", clause.c_str(), kv.c_str());
-            std::string key = trim(kv.substr(0, eq));
-            std::string value = trim(kv.substr(eq + 1));
-            if (key == "core") {
-                c.core = CoreId(parseUint(clause, key, value));
-            } else if (key == "at") {
-                c.at = parseUint(clause, key, value);
-            } else if (key == "dur") {
-                c.dur = parseUint(clause, key, value);
-            } else if (key == "p") {
-                c.p = parseProb(clause, value);
-            } else if (key == "add") {
-                c.add = parseUint(clause, key, value);
-            } else {
-                fatal("fault clause '%s': unknown key '%s'",
-                      clause.c_str(), key.c_str());
+            fatal_if(!kv.empty() && eq == std::string::npos,
+                     "fault spec: expected key=value, got '%s' at "
+                     "offset %zu", kv.c_str(), kvOff);
+            if (!kv.empty()) {
+                std::string key = trim(kv.substr(0, eq));
+                std::string value = trim(kv.substr(eq + 1));
+                std::size_t valOff =
+                    tokenOffset(text, value, base, start + eq + 1);
+                if (key == "core") {
+                    c.core = CoreId(parseUint(key, value, valOff));
+                } else if (key == "at") {
+                    c.at = parseUint(key, value, valOff);
+                } else if (key == "dur") {
+                    c.dur = parseUint(key, value, valOff);
+                } else if (key == "p") {
+                    c.p = parseProb(value, valOff);
+                } else if (key == "add") {
+                    c.add = parseUint(key, value, valOff);
+                } else {
+                    fatal("fault spec: unknown key '%s' at offset "
+                          "%zu", key.c_str(), kvOff);
+                }
             }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
         }
     }
 
     fatal_if(needsCore && c.core == FaultClause::kAnyCore,
-             "fault clause '%s' needs core=<id>", clause.c_str());
+             "fault spec: clause '%s' at offset %zu needs core=<id>",
+             kind.c_str(), kindOff);
     fatal_if(c.kind == FaultClause::Kind::EngineStall && c.dur == 0,
-             "fault clause '%s' needs dur=<cycles>", clause.c_str());
+             "fault spec: clause '%s' at offset %zu needs "
+             "dur=<cycles>", kind.c_str(), kindOff);
     fatal_if((c.kind == FaultClause::Kind::NocDelay ||
               c.kind == FaultClause::Kind::DramDelay) &&
                  c.add == 0,
-             "fault clause '%s' needs add=<cycles>", clause.c_str());
+             "fault spec: clause '%s' at offset %zu needs "
+             "add=<cycles>", kind.c_str(), kindOff);
     return c;
 }
 
@@ -171,10 +184,17 @@ FaultInjector::FaultInjector(const std::string &spec,
                              std::uint64_t seed)
     : spec_(spec), rng_(seed ^ hashSpec(spec))
 {
-    for (const std::string &clause : split(spec, ';')) {
-        if (trim(clause).empty())
-            continue;
-        clauses_.push_back(parseClause(clause));
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t semi = spec.find(';', start);
+        std::size_t end =
+            semi == std::string::npos ? spec.size() : semi;
+        std::string clause = spec.substr(start, end - start);
+        if (!trim(clause).empty())
+            clauses_.push_back(parseClause(clause, start));
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
     }
     fatal_if(clauses_.empty(), "fault spec '%s' has no clauses",
              spec.c_str());

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -156,8 +157,26 @@ class FaultInjector
     /** Register the "faults" group with injection counters. */
     void registerStats(StatsRegistry &reg);
 
-    /** Parse one clause; exposed for tests. fatal() on errors. */
-    static FaultClause parseClause(const std::string &text);
+    /**
+     * Parse one clause; exposed for tests. fatal() on errors, naming
+     * the offending token and its offset within the full spec
+     * (@p base is the clause's start offset in that spec).
+     */
+    static FaultClause parseClause(const std::string &text,
+                                   std::size_t base = 0);
+
+    /**
+     * Serialize the RNG stream position and injection counters. The
+     * parsed clauses are construction-time config covered by the
+     * machine-level config fingerprint; symmetric.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        rng_.checkpoint(ck);
+        ck.io(stats_);
+        ck.transient("spec_ clauses_ now_ tl_ statsReg_");
+    }
 
   private:
     Cycle now() const { return now_ ? *now_ : 0; }

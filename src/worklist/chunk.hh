@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/ckpt.hh"
 #include "base/logging.hh"
 #include "base/sim_alloc.hh"
 #include "worklist/worklist.hh"
@@ -46,6 +47,15 @@ struct Chunk
     Addr itemAddr(std::uint32_t i) const
     {
         return base + Addr(i) * kItemBytes;
+    }
+
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(base);
+        ck.io(bucket);
+        ck.io(head);
+        ck.io(items);
     }
 };
 
@@ -94,12 +104,38 @@ class ChunkPool
         return chunks_.size() - freeList_.size();
     }
 
+    /**
+     * Witness serialization: pool shape only. Chunk *contents* are
+     * serialized by the worklist that owns the live chunks; the
+     * pool's pointers are rebuilt by deterministic replay.
+     */
+    void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.io(chunkSize_);
+        std::uint64_t total = chunks_.size();
+        std::uint64_t freed = freeList_.size();
+        ck.io(total);
+        ck.io(freed);
+        ck.transient("alloc_");
+    }
+
   private:
     SimAlloc *alloc_;
     std::uint32_t chunkSize_;
     std::vector<std::unique_ptr<Chunk>> chunks_;
     std::vector<Chunk *> freeList_;
 };
+
+/** Serialize a maybe-null live chunk (witness helper). */
+inline void
+checkpointChunkPtr(ckpt::Ckpt &ck, Chunk *c)
+{
+    std::uint8_t present = c != nullptr;
+    ck.io(present);
+    if (c)
+        c->checkpoint(ck);
+}
 
 } // namespace minnow::worklist
 

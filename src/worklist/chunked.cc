@@ -181,4 +181,37 @@ ChunkedWorklist::pop(SimContext &ctx, WorkItem &out)
     }
 }
 
+void
+ChunkedWorklist::checkpoint(ckpt::Ckpt &ck)
+{
+    if (ck.loading()) {
+        ck.fail("chunked worklist sections are replay-validated, not"
+                " loadable");
+        return;
+    }
+    Worklist::checkpoint(ck);
+    std::uint8_t pol = policy_ == Policy::Lifo;
+    ck.io(pol);
+    ck.io(packages_);
+    ck.io(coresPerPkg_);
+    pool_.checkpoint(ck);
+    ck.io(seedRotor_);
+    std::uint64_t np = pkgs_.size();
+    ck.io(np);
+    for (PerPackage &p : pkgs_) {
+        ck.io(p.headLine);
+        std::uint64_t nc = p.list.size();
+        ck.io(nc);
+        for (Chunk *c : p.list)
+            c->checkpoint(ck);
+    }
+    std::uint64_t nw = workers_.size();
+    ck.io(nw);
+    for (PerWorker &w : workers_) {
+        checkpointChunkPtr(ck, w.pushChunk);
+        checkpointChunkPtr(ck, w.popChunk);
+    }
+    ck.transient("machine_");
+}
+
 } // namespace minnow::worklist

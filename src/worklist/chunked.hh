@@ -64,6 +64,8 @@ class ChunkedWorklist : public Worklist
         return policy_ == Policy::Fifo ? "cfifo" : "clifo";
     }
 
+    void checkpoint(ckpt::Ckpt &ck) override;
+
   private:
     struct PerPackage
     {

@@ -306,4 +306,52 @@ ObimWorklist::pop(SimContext &ctx, WorkItem &out)
     }
 }
 
+void
+ObimWorklist::checkpoint(ckpt::Ckpt &ck)
+{
+    if (ck.loading()) {
+        ck.fail("obim worklist sections are replay-validated, not"
+                " loadable");
+        return;
+    }
+    Worklist::checkpoint(ck);
+    ck.io(lg_);
+    ck.io(packages_);
+    ck.io(coresPerPkg_);
+    pool_.checkpoint(ck);
+    ck.io(minHint_);
+    ck.io(minLine_);
+    ck.io(mapLock_);
+    ck.io(seedRotorForInitial_);
+    std::uint64_t nb = buckets_.size();
+    ck.io(nb);
+    for (auto &[key, gb] : buckets_) {
+        std::int64_t k = key;
+        ck.io(k);
+        ck.io(gb.descBase);
+        std::uint64_t np = gb.perPkg.size();
+        ck.io(np);
+        for (auto &dq : gb.perPkg) {
+            std::uint64_t nc = dq.size();
+            ck.io(nc);
+            for (Chunk *c : dq)
+                c->checkpoint(ck);
+        }
+    }
+    std::uint64_t nw = workers_.size();
+    ck.io(nw);
+    for (PerWorker &w : workers_) {
+        ck.io(w.curBucket);
+        std::uint64_t npc = w.pushChunks.size();
+        ck.io(npc);
+        for (auto &[b, c] : w.pushChunks) {
+            std::int64_t bk = b;
+            ck.io(bk);
+            checkpointChunkPtr(ck, c);
+        }
+        checkpointChunkPtr(ck, w.popChunk);
+    }
+    ck.transient("machine_");
+}
+
 } // namespace minnow::worklist

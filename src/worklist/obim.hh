@@ -64,6 +64,8 @@ class ObimWorklist : public Worklist
     /** Adds the live minimum-bucket hint as a counter track. */
     void registerTimeline(timeline::Timeline &tl) override;
 
+    void checkpoint(ckpt::Ckpt &ck) override;
+
   private:
     static constexpr std::int64_t kNoBucket =
         std::numeric_limits<std::int64_t>::max();

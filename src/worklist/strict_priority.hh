@@ -34,6 +34,16 @@ class StrictPriorityWorklist : public Worklist
     std::uint64_t size() const override { return heap_.size(); }
     std::string name() const override { return "strict"; }
 
+    void
+    checkpoint(ckpt::Ckpt &ck) override
+    {
+        ck.io(heap_);
+        ck.io(lockLine_);
+        ck.io(heapBase_);
+        ck.io(heapCapacity_);
+        ck.transient("machine_");
+    }
+
   private:
     /** Sift the last element up; returns levels touched. */
     std::uint32_t siftUp();

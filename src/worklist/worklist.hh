@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/ckpt.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "runtime/sim_context.hh"
@@ -104,6 +105,19 @@ class Worklist
      * overrides need no matching teardown.
      */
     virtual void registerTimeline(timeline::Timeline &) {}
+
+    /**
+     * Witness serialization of the worklist's logical content, in
+     * deterministic order. Save-only for chunk-based lists (their
+     * pointer structure is rebuilt by deterministic replay; a
+     * restore validates by re-serializing and comparing CRCs —
+     * DESIGN.md section 5i).
+     */
+    virtual void
+    checkpoint(ckpt::Ckpt &ck)
+    {
+        ck.transient("statsReg_");
+    }
 
   private:
     StatsRegistry *statsReg_ = nullptr;

@@ -113,6 +113,29 @@ TEST(FaultSpecDeathTest, RejectsMalformedSpecs)
                 testing::ExitedWithCode(1), "no clauses");
 }
 
+TEST(FaultSpecDeathTest, ErrorsNameTokenAndOffset)
+{
+    // The diagnostics must name the offending token and its offset
+    // within the *full* spec, not just echo the whole string.
+    EXPECT_EXIT(
+        FaultInjector("noc_delay:p=0.5,add=10;engine_melt:core=1", 1),
+        testing::ExitedWithCode(1),
+        "unknown fault kind 'engine_melt' at offset 23");
+    EXPECT_EXIT(FaultInjector("noc_delay:add=ten", 1),
+                testing::ExitedWithCode(1),
+                "bad value 'ten' for key 'add' at offset 14");
+    EXPECT_EXIT(
+        FaultInjector("drop_prefetch:p=1;noc_delay:frob=2,add=10", 1),
+        testing::ExitedWithCode(1),
+        "unknown key 'frob' at offset 28");
+    EXPECT_EXIT(FaultInjector("drop_prefetch:p=1.5", 1),
+                testing::ExitedWithCode(1),
+                "probability '1.5' at offset 16");
+    EXPECT_EXIT(FaultInjector("drop_prefetch:oops", 1),
+                testing::ExitedWithCode(1),
+                "expected key=value, got 'oops' at offset 14");
+}
+
 TEST(FaultSpec, WindowsAndTargets)
 {
     FaultInjector fi("dram_delay:p=1,add=50,at=100,dur=10", 7);

@@ -336,6 +336,16 @@ class _Parser:
             if j < end and toks[j].kind == "punct" and \
                     toks[j].text == "<":
                 j = _skip_template_args(toks, j)  # specialization
+            # Out-of-line nested definition (`struct A::B { ... }`):
+            # the class is the last qualifier, not the first.
+            while j + 1 < end and toks[j].kind == "punct" and \
+                    toks[j].text == "::" and toks[j + 1].kind == "id":
+                name = toks[j + 1].text
+                line = toks[j + 1].line
+                j += 2
+                if j < end and toks[j].kind == "punct" and \
+                        toks[j].text == "<":
+                    j = _skip_template_args(toks, j)
         else:
             line = toks[i].line
             name = "<anon>"

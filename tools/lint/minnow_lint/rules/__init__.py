@@ -12,6 +12,7 @@ from . import coroutine_order
 from . import stats_lifetime
 from . import daemon_accounting
 from . import trace_format
+from . import serializer_coverage
 
 ALL_RULES = [
     determinism,
@@ -20,6 +21,7 @@ ALL_RULES = [
     stats_lifetime,
     daemon_accounting,
     trace_format,
+    serializer_coverage,
 ]
 
 RULE_IDS = [r.RULE_ID for r in ALL_RULES]
