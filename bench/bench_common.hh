@@ -221,6 +221,16 @@ struct BenchArgs
     std::string checkpointOut;   //!< --checkpoint-out.
     std::string checkpointIn;    //!< --checkpoint-in.
     std::string checkpointAfter = "warmup"; //!< --checkpoint-after.
+
+    /**
+     * Host task-farm width for independent sweep points
+     * (--host-par=N, default 1 = serial). Sweep drivers farm their
+     * per-point loop over N host threads; every farmed point runs
+     * its own Machine and workload, and shared outputs
+     * (--stats-json, --stats-dir) are replayed in point order after
+     * the join, so all files stay byte-identical to a serial sweep.
+     */
+    std::uint32_t hostPar = 1;
     MachineConfig machine;
 
     BenchArgs() : machine(scaledMachine()) {}
@@ -249,6 +259,8 @@ parseArgs(const Options &opts, double defaultScale = 1.0,
     a.checkpointIn = opts.getString("checkpoint-in", "");
     a.checkpointAfter =
         opts.getString("checkpoint-after", "warmup");
+    a.hostPar = std::uint32_t(opts.getUint("host-par", 1));
+    fatal_if(a.hostPar == 0, "--host-par must be at least 1");
     installSignalHandlers();
     a.machine.applyOptions(opts);
     if (a.machine.numCores < a.threads)

@@ -14,6 +14,7 @@
 
 #include "base/logging.hh"
 #include "bench_common.hh"
+#include "sim/parallel/task_farm.hh"
 
 namespace minnow::bench
 {
@@ -83,12 +84,54 @@ sweepCredits(const std::string &name, const BenchArgs &args,
     out.baseMpki = base.run.l2Mpki;
     double baseCycles = double(base.run.cycles);
 
-    for (std::uint32_t c : credits) {
-        BenchArgs a = args;
-        a.machine.minnow.prefetchCredits = c;
-        auto r =
-            run(w, harness::Config::MinnowPf, args.threads, a);
+    // One MinnowPf run per credit count. The points are independent
+    // simulations, so --host-par=N farms them over N host threads.
+    // A run mutates its workload (address assignment, app state),
+    // so each farmed point builds a private workload from the same
+    // deterministic generator; shared outputs (--stats-json,
+    // --stats-dir, --checkpoint-out) are suppressed inside the farm
+    // and replayed in point order after the join, keeping every
+    // output file byte-identical to a serial sweep.
+    const bool farmed = args.hostPar > 1;
+    std::vector<harness::ExperimentResult> results(credits.size());
+    parallel::runTaskFarm(
+        credits.size(), args.hostPar, [&](std::size_t i) {
+            BenchArgs a = args;
+            a.machine.minnow.prefetchCredits = credits[i];
+            if (!farmed) {
+                results[i] = run(w, harness::Config::MinnowPf,
+                                 args.threads, a);
+                return;
+            }
+            a.statsJson.reset();
+            a.statsDir.clear();
+            a.checkpointOut.clear();
+            harness::Workload wi = makeWorkload(name, a);
+            results[i] = run(wi, harness::Config::MinnowPf,
+                             args.threads, a);
+        });
+
+    for (std::size_t i = 0; i < credits.size(); ++i) {
+        std::uint32_t c = credits[i];
+        const harness::ExperimentResult &r = results[i];
         checkVerified(r, name + "/credits" + std::to_string(c));
+        if (farmed && args.statsJson) {
+            args.statsJson->add(
+                w.name, harness::configName(harness::Config::MinnowPf),
+                args.threads, args.scale, args.seed, c,
+                r.run.timedOut, r.run.verified, r.run.cycles,
+                r.run.instructions, r.run.l2Mpki, r.run.statsJson);
+        }
+        if (farmed && !args.statsDir.empty()) {
+            std::string path =
+                args.statsDir + "/" + w.name + "-" +
+                harness::configName(harness::Config::MinnowPf) +
+                "-t" + std::to_string(args.threads) + ".stats";
+            if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+                r.run.report.dump(f);
+                std::fclose(f);
+            }
+        }
         CreditPoint p;
         p.credits = c;
         p.timedOut = r.run.timedOut || base.run.timedOut;

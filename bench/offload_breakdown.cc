@@ -33,6 +33,7 @@ namespace
 struct Point
 {
     std::uint32_t batch = 1;
+    bool specSlot = false;
     bool timedOut = false;
     Cycle cycles = 0;
     std::uint64_t dequeues = 0;       //!< engine round-trips.
@@ -46,18 +47,42 @@ struct Point
     double popWaitP99 = 0;
 };
 
-std::vector<std::uint32_t>
+/** One swept configuration: dequeue batch + spec-slot toggle. */
+struct SweptConfig
+{
+    std::uint32_t batch = 1;
+    bool specSlot = false;
+};
+
+/**
+ * Parse --batch-list. A plain token ("4") sweeps that dequeue
+ * batch; an "s" suffix ("4s") runs it with the core-side spec slot
+ * enabled, so the sweep exercises the speculative-delivery fast
+ * path too (specHits stays identically zero otherwise — that dead
+ * column hid the slot being off in recorded sweeps). The default
+ * sweep carries one spec point at the bundling knee.
+ */
+std::vector<SweptConfig>
 batchesFromOpts(const Options &opts)
 {
-    std::string list = opts.getString("batch-list", "1,2,4,8");
-    std::vector<std::uint32_t> out;
+    std::string list = opts.getString("batch-list", "1,2,4,8,4s");
+    std::vector<SweptConfig> out;
     std::size_t pos = 0;
     while (pos != std::string::npos) {
         std::size_t comma = list.find(',', pos);
         std::string tok = list.substr(
             pos, comma == std::string::npos ? comma : comma - pos);
-        if (!tok.empty())
-            out.push_back(std::uint32_t(std::stoul(tok)));
+        if (!tok.empty()) {
+            SweptConfig c;
+            if (tok.back() == 's') {
+                c.specSlot = true;
+                tok.pop_back();
+            }
+            fatal_if(tok.empty(),
+                     "--batch-list token has no batch count");
+            c.batch = std::uint32_t(std::stoul(tok));
+            out.push_back(c);
+        }
         pos = comma == std::string::npos ? comma : comma + 1;
     }
     fatal_if(out.empty(), "--batch-list parsed to nothing");
@@ -87,12 +112,15 @@ main(int argc, char **argv)
         harness::makeWorkload(wl, args.scale, args.seed);
 
     std::vector<Point> points;
-    for (std::uint32_t k : batches) {
+    for (const SweptConfig &sc : batches) {
+        std::uint32_t k = sc.batch;
         harness::RunSpec spec;
         spec.config = harness::Config::MinnowPf;
         spec.threads = args.threads;
         spec.machine = args.machine;
         spec.machine.minnow.dequeueBatch = k;
+        if (sc.specSlot)
+            spec.machine.minnow.specSlot = true;
         // The popWait histogram lives in the timeline stats group;
         // route the (unused) trace to the null device and keep only
         // the task category so tracing cost stays negligible.
@@ -100,10 +128,12 @@ main(int argc, char **argv)
         spec.machine.timelineTracks = "task";
         spec.maxEvents = args.maxEvents;
         harness::ExperimentResult r = harness::runExperiment(w, spec);
-        checkVerified(r, wl + " k=" + std::to_string(k));
+        checkVerified(r, wl + " k=" + std::to_string(k) +
+                             (sc.specSlot ? "s" : ""));
 
         Point p;
         p.batch = k;
+        p.specSlot = spec.machine.minnow.specSlot;
         p.timedOut = r.run.timedOut;
         p.cycles = r.run.cycles;
         p.dequeues = r.engines.dequeues;
@@ -121,7 +151,8 @@ main(int argc, char **argv)
 
         if (args.statsJson) {
             args.statsJson->add(wl, "minnow-pf(k=" +
-                                std::to_string(k) + ")",
+                                std::to_string(k) +
+                                (sc.specSlot ? "s)" : ")"),
                                 args.threads, args.scale, args.seed,
                                 spec.machine.minnow.prefetchCredits,
                                 r.run.timedOut, r.run.verified,
@@ -131,11 +162,14 @@ main(int argc, char **argv)
     }
 
     TextTable table;
-    table.header({"batch", "cycles", "engineCalls", "bundleTasks",
-                  "doorbell/call", "wait/call", "deliver/call",
-                  "popWaitP50", "popWaitP95", "popWaitP99"});
+    table.header({"batch", "specHits", "cycles", "engineCalls",
+                  "bundleTasks", "doorbell/call", "wait/call",
+                  "deliver/call", "popWaitP50", "popWaitP95",
+                  "popWaitP99"});
     for (const Point &p : points) {
-        table.row({std::to_string(p.batch),
+        table.row({std::to_string(p.batch) +
+                       (p.specSlot ? "s" : ""),
+                   std::to_string(p.specHits),
                    p.timedOut ? "TIMEOUT"
                               : std::to_string(p.cycles),
                    std::to_string(p.dequeues),
@@ -159,13 +193,15 @@ main(int argc, char **argv)
             const Point &p = points[i];
             std::fprintf(
                 f,
-                "%s{\"batch\":%u,\"timedOut\":%s,\"cycles\":%llu,"
+                "%s{\"batch\":%u,\"specSlot\":%s,"
+                "\"timedOut\":%s,\"cycles\":%llu,"
                 "\"engineCalls\":%llu,\"bundleTasks\":%llu,"
                 "\"specHits\":%llu,\"doorbellPerCall\":%.3f,"
                 "\"waitPerCall\":%.3f,\"deliverPerCall\":%.3f,"
                 "\"popWaitP50\":%.0f,\"popWaitP95\":%.0f,"
                 "\"popWaitP99\":%.0f}",
                 i ? "," : "", p.batch,
+                p.specSlot ? "true" : "false",
                 p.timedOut ? "true" : "false",
                 (unsigned long long)p.cycles,
                 (unsigned long long)p.dequeues,

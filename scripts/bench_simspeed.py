@@ -19,7 +19,14 @@ Two measurements, both from binaries built in this tree:
     popWait P95 strictly below the k=1 value (the round-trip
     amortization the batched-dequeue path exists for).
 
- 4. the checkpoint subsystem (DESIGN.md section 5i): host-time cost
+ 4. a --shards=1,2,4,8 sweep of the same fig18 point with
+    stats-interval sampling on: events/sec per shard count plus the
+    pool's barrier-wait share land in the "shards" section. On
+    hosts with >= 4 CPUs, shards=4 must beat shards=1 events/sec
+    (on smaller hosts the sweep is recorded, the floor skipped —
+    serial event weaving cannot go faster without host cores).
+
+ 5. the checkpoint subsystem (DESIGN.md section 5i): host-time cost
     of saving and warm-restoring a fig18-scale point via
     point_runner, and warm-vs-cold time-to-first-figure-point for a
     crash-resumed sweep (scripts/sweep_orchestrator.py serving a
@@ -146,7 +153,7 @@ def run_offload(offload, smoke):
             "--threads=4",
             "--cores=4",
             "--seed=42",
-            "--batch-list=1,2,4,8",
+            "--batch-list=1,2,4,8,4s",
             f"--json={out}",
         ]
         proc = subprocess.run(cmd, capture_output=True, text=True,
@@ -156,21 +163,103 @@ def run_offload(offload, smoke):
                  f"\n{proc.stdout}\n{proc.stderr}")
         with open(out) as f:
             doc = json.load(f)
-    points = {p["batch"]: p for p in doc.get("points", [])}
-    k1, k4 = points.get(1), points.get(4)
+    points = {(p["batch"], p.get("specSlot", False)): p
+              for p in doc.get("points", [])}
+    k1, k4 = points.get((1, False)), points.get((4, False))
+    spec = points.get((4, True))
     if not k1 or not k4:
         fail("offload_breakdown output missing the k=1/k=4 points")
-    for p in (k1, k4):
+    if not spec:
+        fail("offload_breakdown output missing the k=4 spec-slot"
+             " point (--batch-list '4s' entry)")
+    for p in (k1, k4, spec):
         if p["timedOut"]:
             fail(f"offload point k={p['batch']} timed out")
     if k4["popWaitP95"] >= k1["popWaitP95"]:
         fail(f"dequeue batching regression: k=4 popWaitP95"
              f" {k4['popWaitP95']} not below k=1's"
              f" {k1['popWaitP95']}")
+    if spec["specHits"] <= 0:
+        fail("spec-slot point recorded zero specHits: the core-side"
+             " slot is not delivering (or the sweep lost the"
+             " --spec-slot plumbing again)")
     return {"bench": os.path.basename(offload),
             "args": " ".join(cmd[1:-1]),
             "workload": doc.get("workload"),
             "points": doc.get("points", [])}
+
+
+def run_shards(fig, smoke):
+    """Sweep --shards on one fig18 point and record events/sec.
+
+    The sharded scheduler keeps event execution serial (that is the
+    byte-identity argument), so its host speedup comes from the
+    shard pool's fan-out of stats-interval sampling and, at the
+    bench layer, the --host-par point farm. Both need real host
+    cores: the shards=4-beats-shards=1 floor is only enforced when
+    the host has >= 4 CPUs, otherwise the sweep is recorded with
+    the gate marked skipped (a 1-CPU CI box cannot express host
+    parallelism, and failing there would only teach people to
+    ignore the bench).
+    """
+    scale = "0.05" if smoke else "0.2"
+    cores = "16" if smoke else "64"
+    sweep = []
+    for shards in (1, 2, 4, 8):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "stats.json")
+            cmd = [
+                fig,
+                "--workloads=sssp",
+                f"--scale={scale}",
+                "--threads=8",
+                f"--cores={cores}",
+                "--credits-list=8",
+                "--seed=42",
+                "--host-profile",
+                "--stats-interval=2000",
+                f"--shards={shards}",
+                f"--stats-json={out}",
+            ]
+            wall, proc = timed_run(cmd)
+            if proc.returncode != 0:
+                fail(f"shards={shards} fig point exited"
+                     f" {proc.returncode}:\n{proc.stdout}\n"
+                     f"{proc.stderr}")
+            with open(out) as f:
+                doc = json.load(f)
+        runs = doc.get("runs") or []
+        if not runs:
+            fail(f"no runs in shards={shards} stats JSON")
+        hp = (runs[0].get("stats", {}).get("groups", {})
+              .get("hostprof"))
+        if not hp:
+            fail(f"no hostprof group at shards={shards}")
+        sweep.append({
+            "shards": shards,
+            "eventsPerSec": hp.get("eventsPerSec", 0.0),
+            "events": hp.get("events", 0.0),
+            "wallNs": hp.get("wallNs", 0.0),
+            "barrierWaitNs": hp.get("barrierWaitNs", 0.0),
+            "wallSeconds": wall,
+        })
+    by = {p["shards"]: p for p in sweep}
+    host_cpus = os.cpu_count() or 1
+    gate_enforced = host_cpus >= 4
+    if gate_enforced and \
+            by[4]["eventsPerSec"] <= by[1]["eventsPerSec"]:
+        fail(f"sharded-host regression: shards=4"
+             f" {by[4]['eventsPerSec']:.3e} ev/s not above"
+             f" shards=1 {by[1]['eventsPerSec']:.3e} ev/s"
+             f" on a {host_cpus}-CPU host")
+    return {
+        "bench": os.path.basename(fig),
+        "point": f"sssp scale={scale} threads=8 cores={cores}"
+                 f" credits=8 stats-interval=2000",
+        "hostCpus": host_cpus,
+        "gateEnforced": gate_enforced,
+        "sweep": sweep,
+    }
 
 
 def timed_run(cmd, timeout=1800):
@@ -268,6 +357,7 @@ def main():
     micro_res = run_micro(micro)
     workload_res = run_workload(fig, args.smoke)
     offload_res = run_offload(offload, args.smoke)
+    shards_res = run_shards(fig, args.smoke)
     ckpt_res = run_checkpoint(runner)
 
     bar = args.min_speedup
@@ -284,6 +374,7 @@ def main():
         "micro": micro_res,
         "workload": workload_res,
         "offload": offload_res,
+        "shards": shards_res,
         "checkpoint": ckpt_res,
         "minSpeedup": bar,
     }
@@ -292,7 +383,9 @@ def main():
         f.write("\n")
 
     hp = workload_res["hostprof"]
-    opts = {p["batch"]: p for p in offload_res["points"]}
+    opts = {p["batch"]: p for p in offload_res["points"]
+            if not p.get("specSlot")}
+    sh = {p["shards"]: p for p in shards_res["sweep"]}
     print(f"bench_simspeed: wheel {micro_res['wheelEventsPerSec']:.3e}"
           f" ev/s vs heap {micro_res['heapEventsPerSec']:.3e} ev/s"
           f" -> {micro_res['speedup']:.2f}x"
@@ -300,6 +393,10 @@ def main():
           f" ({int(hp.get('events', 0))} events)"
           f" | popWaitP95 k=1 {opts[1]['popWaitP95']:.0f}"
           f" -> k=4 {opts[4]['popWaitP95']:.0f}"
+          f" | shards 1->{sh[1]['eventsPerSec']:.2e}"
+          f" 4->{sh[4]['eventsPerSec']:.2e} ev/s"
+          f" (gate {'on' if shards_res['gateEnforced'] else 'off'},"
+          f" {shards_res['hostCpus']} host CPUs)"
           f" | ckpt cold {ckpt_res['coldSeconds']:.3f}s, resume "
           f"{ckpt_res['resumeSeconds']:.3f}s"
           f" ({ckpt_res['resumeSpeedup']:.1f}x)"

@@ -411,6 +411,13 @@ benches). The reproduction contract is *shape*, not absolute
 numbers: inputs are deterministic scaled stand-ins and the machine
 is cache-scaled to match (DESIGN.md §2, §6).
 
+Regeneration goes faster on multi-core hosts without changing a
+byte of any figure: sweep benches take `--host-par=N` (independent
+figure points farmed over N host threads, logs replayed in point
+order) and every bench takes `--shards=N` (sharded host simulation,
+DESIGN.md §5j); both are byte-identical to serial runs
+(`check_shard_ab` in ctest proves it per commit).
+
 ## Summary of shape fidelity
 
 | Experiment | Qualitative claims | Status |

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Build and run the test suite under sanitizers.
 #
-# Usage: scripts/run_sanitized_tests.sh [address|undefined]...
-# With no arguments, runs both sanitizers in sequence. Each sanitizer
-# gets its own build directory (build-san-<name>) so incremental
-# rebuilds stay cheap.
+# Usage: scripts/run_sanitized_tests.sh [address|undefined|thread]...
+# With no arguments, runs all three sanitizers in sequence. Each
+# sanitizer gets its own build directory (build-san-<name>) so
+# incremental rebuilds stay cheap. The thread leg additionally runs
+# the tsan_shard_ab ctest (sharded-host A/B under the race
+# detector); it only exists in MINNOW_SANITIZE=thread builds.
 
 set -euo pipefail
 
@@ -12,14 +14,14 @@ cd "$(dirname "$0")/.."
 
 sanitizers=("$@")
 if [ ${#sanitizers[@]} -eq 0 ]; then
-    sanitizers=(address undefined)
+    sanitizers=(address undefined thread)
 fi
 
 for san in "${sanitizers[@]}"; do
     case "$san" in
-      address|undefined) ;;
+      address|undefined|thread) ;;
       *)
-        echo "unknown sanitizer '$san' (want address or undefined)" >&2
+        echo "unknown sanitizer '$san' (want address, undefined, or thread)" >&2
         exit 1
         ;;
     esac

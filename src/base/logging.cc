@@ -1,5 +1,6 @@
 #include "base/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +32,31 @@ int nextPanicHookId = 1;
 bool inPanicHooks = false;
 
 /**
+ * Registry guard: --host-par point farms construct and destroy
+ * Machines on several host threads, each registering its panic
+ * hook. The critical sections are a few vector operations, so a
+ * spinlock suffices; std::mutex is reserved for sim/parallel by
+ * minnow-lint rule P1, and a panic inside a hook must not try to
+ * re-acquire a poisoned lock anyway (runPanicHooks snapshots the
+ * registry and runs hooks outside the lock).
+ */
+// base/ cannot depend on sim/parallel, and panic paths need an
+// async-signal-tolerant guard; this spinlock is the sanctioned
+// alternative to std::mutex here (DESIGN.md 5j).
+// LINT-OK(host-threading): base-layer spinlock, no sim/parallel dep
+std::atomic_flag hooksLock = ATOMIC_FLAG_INIT;
+
+struct HooksGuard
+{
+    HooksGuard()
+    {
+        while (hooksLock.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+    ~HooksGuard() { hooksLock.clear(std::memory_order_release); }
+};
+
+/**
  * Flush everything and run the post-mortem hooks (most recently
  * registered first, matching teardown order). Reentrant panics skip
  * straight to the flush so a buggy hook cannot recurse.
@@ -40,8 +66,13 @@ runPanicHooks()
 {
     if (!inPanicHooks) {
         inPanicHooks = true;
-        auto &hooks = panicHooks();
-        for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
+        std::vector<PanicHookEntry> snapshot;
+        {
+            HooksGuard g;
+            snapshot = panicHooks();
+        }
+        for (auto it = snapshot.rbegin(); it != snapshot.rend();
+             ++it)
             it->fn(it->arg);
     }
     // Flush every open stream (trace output included) so the log up
@@ -106,6 +137,7 @@ clearWarnings()
 int
 addPanicHook(PanicHook hook, void *arg)
 {
+    HooksGuard g;
     int id = nextPanicHookId++;
     panicHooks().push_back(PanicHookEntry{id, hook, arg});
     return id;
@@ -120,6 +152,7 @@ flushPanicHooks()
 void
 removePanicHook(int id)
 {
+    HooksGuard g;
     auto &hooks = panicHooks();
     for (auto it = hooks.begin(); it != hooks.end(); ++it) {
         if (it->id == id) {

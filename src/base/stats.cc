@@ -5,9 +5,52 @@
 
 #include "base/logging.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel/spsc_channel.hh"
 
 namespace minnow
 {
+
+/**
+ * Sharded-host sample fan-out (setSampleExecutor): one SPSC channel
+ * per pool lane carrying that lane's slice of an interval sample
+ * back to the leader. Capacity 1 — exactly one chunk is in flight
+ * per lane per sampling epoch, and the leader drains every channel
+ * before the next sample fires. The chunks re-use their storage
+ * across epochs via the scratch vectors (moved out, filled, moved
+ * in), so steady-state sampling does not allocate channel traffic.
+ */
+struct StatsRegistry::SampleFanout
+{
+    using Chunk = std::vector<std::pair<std::string, double>>;
+
+    std::vector<std::unique_ptr<parallel::SpscChannel<Chunk>>> ch;
+    std::vector<Chunk> scratch;
+
+    explicit SampleFanout(std::uint32_t lanes) : scratch(lanes)
+    {
+        ch.reserve(lanes);
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            ch.push_back(
+                std::make_unique<parallel::SpscChannel<Chunk>>(1));
+        }
+    }
+};
+
+StatsRegistry::StatsRegistry() = default;
+StatsRegistry::~StatsRegistry() = default;
+
+void
+StatsRegistry::setSampleExecutor(
+    std::uint32_t lanes,
+    std::function<void(const std::function<void(std::uint32_t)> &)>
+        runOnAll)
+{
+    fatal_if(lanes == 0, "sample executor needs at least one lane");
+    sampleLanes_ = lanes;
+    sampleRunOnAll_ = std::move(runOnAll);
+    fanout_ = lanes > 1 ? std::make_unique<SampleFanout>(lanes)
+                        : nullptr;
+}
 
 void
 StatsReport::dump(std::FILE *out) const
@@ -353,8 +396,9 @@ void
 StatsRegistry::checkpoint(ckpt::Ckpt &ck)
 {
     // The sampler is an event-queue daemon and is re-armed by the
-    // restored run itself.
-    ck.transient("sampler_");
+    // restored run itself; the sample-fanout executor is host-side
+    // machinery rebound by the restoring Machine's ctor.
+    ck.transient("sampler_ sampleLanes_ sampleRunOnAll_ fanout_");
     std::uint64_t n = 0;
     for (const auto &[gname, g] : groups_) {
         (void)g;
@@ -417,11 +461,54 @@ StatsRegistry::recordSample(Cycle now)
 {
     IntervalSample is;
     is.cycle = now;
-    for (const auto &[gname, g] : groups_) {
-        for (const auto &s : g->stats()) {
-            if (s->kind() == StatKind::Histogram)
-                continue;
-            is.values[gname + "." + s->name()] = s->value();
+    if (fanout_ && sampleRunOnAll_) {
+        // Sharded-host path: lane L evaluates groups L, L+lanes,
+        // L+2*lanes, ... (a deterministic partition of the name-
+        // ordered group map) into its own channel; the leader then
+        // drains the channels in lane order. The merge target is a
+        // sorted map, so chunk arrival order cannot change the
+        // sample — byte-identical to the serial loop below by
+        // construction, which scripts/check_shard_ab.py enforces.
+        std::vector<std::pair<const std::string *,
+                              const StatsGroup *>>
+            gs;
+        gs.reserve(groups_.size());
+        for (const auto &[gname, g] : groups_)
+            gs.emplace_back(&gname, g.get());
+        const std::uint32_t lanes = sampleLanes_;
+        SampleFanout &fo = *fanout_;
+        sampleRunOnAll_([&](std::uint32_t lane) {
+            SampleFanout::Chunk chunk =
+                std::move(fo.scratch[lane]);
+            chunk.clear();
+            for (std::size_t i = lane; i < gs.size(); i += lanes) {
+                for (const auto &s : gs[i].second->stats()) {
+                    if (s->kind() == StatKind::Histogram)
+                        continue;
+                    chunk.emplace_back(
+                        *gs[i].first + "." + s->name(),
+                        s->value());
+                }
+            }
+            panic_if(!fo.ch[lane]->push(std::move(chunk)),
+                     "stats sample channel %u overflowed", lane);
+        });
+        for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+            parallel::Stamped<SampleFanout::Chunk> msg;
+            panic_if(!fo.ch[lane]->pop(msg),
+                     "stats sample channel %u lost its chunk",
+                     lane);
+            for (auto &[key, v] : msg.value)
+                is.values.emplace(std::move(key), v);
+            fo.scratch[lane] = std::move(msg.value);
+        }
+    } else {
+        for (const auto &[gname, g] : groups_) {
+            for (const auto &s : g->stats()) {
+                if (s->kind() == StatKind::Histogram)
+                    continue;
+                is.values[gname + "." + s->name()] = s->value();
+            }
         }
     }
     samples_.push_back(std::move(is));

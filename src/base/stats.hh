@@ -450,7 +450,8 @@ class StatsRegistry
         std::map<std::string, double> values;
     };
 
-    StatsRegistry() = default;
+    StatsRegistry(); // out of line: members use pimpl'd types.
+    ~StatsRegistry();
     StatsRegistry(const StatsRegistry &) = delete;
     StatsRegistry &operator=(const StatsRegistry &) = delete;
 
@@ -493,6 +494,25 @@ class StatsRegistry
      */
     void startSampling(EventQueue &eq, Cycle interval);
 
+    /**
+     * Sharded-host mode (--shards=N): evaluate interval samples in
+     * parallel on the shard pool. @p runOnAll must invoke its
+     * argument once per lane in [0, @p lanes) — with lane 0 on the
+     * calling thread — and return after every lane finished (the
+     * machine passes ShardPool::runOnAll). Each lane evaluates a
+     * deterministic slice of the stats groups into its own SPSC
+     * channel; the leader drains the channels in lane order into
+     * the sample's sorted map, so the result is byte-identical to
+     * the serial path regardless of lane timing. Formulas must be
+     * pure reads of simulator state (they are: this runs between
+     * events, under the pool's fork/join happens-before edges).
+     */
+    void setSampleExecutor(
+        std::uint32_t lanes,
+        std::function<void(const std::function<void(std::uint32_t)>
+                               &)>
+            runOnAll);
+
     const std::vector<IntervalSample> &samples() const
     {
         return samples_;
@@ -520,6 +540,14 @@ class StatsRegistry
     std::map<std::string, std::unique_ptr<StatsGroup>> groups_;
     std::unique_ptr<Sampler> sampler_;
     std::vector<IntervalSample> samples_;
+
+    /** Per-lane sample channels (pimpl; see stats.cc). Null on the
+     *  serial path. */
+    struct SampleFanout;
+    std::uint32_t sampleLanes_ = 1;
+    std::function<void(const std::function<void(std::uint32_t)> &)>
+        sampleRunOnAll_;
+    std::unique_ptr<SampleFanout> fanout_;
 };
 
 } // namespace minnow

@@ -13,7 +13,12 @@ namespace
 {
 
 std::uint32_t flags = 0;
-const Cycle *cycleSource = nullptr;
+/**
+ * Thread-local so --host-par point farms work: each farm thread
+ * runs its own Machine, whose ctor binds the timestamp source to
+ * its own event queue's clock without racing the other points.
+ */
+thread_local const Cycle *cycleSource = nullptr;
 std::FILE *out = nullptr; //!< nullptr = stderr.
 
 const std::map<std::string, Flag> &

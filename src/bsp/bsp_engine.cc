@@ -236,7 +236,7 @@ runBsp(Machine &machine, apps::App &app, const BspConfig &cfg,
     for (auto &w : workers)
         w.start();
 
-    machine.eq.run(cfg.maxEvents);
+    machine.runEvents(cfg.maxEvents);
 
     bool timedOut = false;
     for (const auto &w : workers)

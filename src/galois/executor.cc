@@ -95,24 +95,24 @@ runEventLoop(runtime::Machine &machine, const RunConfig &cfg)
     if (cfg.warmBoundaryHook)
         cfg.warmBoundaryHook();
     if (cfg.stopAt)
-        machine.eq.setStopTrigger(cfg.stopAtCycle, cfg.stopAtExec);
+        machine.setStopTrigger(cfg.stopAtCycle, cfg.stopAtExec);
     std::uint64_t budget = cfg.maxEvents;
     for (;;) {
-        std::uint64_t before = machine.eq.executed();
-        machine.eq.run(budget);
+        std::uint64_t before = machine.executedTotal();
+        machine.runEvents(budget);
         if (budget) {
-            std::uint64_t used = machine.eq.executed() - before;
+            std::uint64_t used = machine.executedTotal() - before;
             budget = used < budget ? budget - used : 1;
         }
-        if (machine.eq.stopTriggerFired()) {
-            machine.eq.ackStopTrigger();
+        if (machine.stopTriggerFired()) {
+            machine.ackStopTrigger();
             if (cfg.midRunHook)
                 cfg.midRunHook();
             continue;
         }
         break;
     }
-    if (machine.eq.interrupted()) {
+    if (machine.interrupted()) {
         if (cfg.interruptHook)
             cfg.interruptHook();
         return true;

@@ -110,6 +110,7 @@ MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
                            MinnowGlobalQueue *globalQueue,
                            const PrefetchProgram &program)
     : machine_(machine),
+      eq_(machine->wheelFor(core)),
       core_(core),
       global_(globalQueue),
       program_(program),
@@ -159,7 +160,7 @@ MinnowEngine::MinnowEngine(runtime::Machine *machine, CoreId core,
         // Seed the counter so the full budget shows before the
         // first prefetch consumes anything.
         tlLastCredits_ = creditsFree_;
-        tl->counter(tlCreditTrack_, machine_->eq.now(),
+        tl->counter(tlCreditTrack_, eq_.now(),
                     double(creditsFree_));
         tl->addCounterProvider(
             timeline::Cat::Worklist,
@@ -186,7 +187,7 @@ MinnowEngine::TlSpan::TlSpan(MinnowEngine *eng, timeline::Name name)
     if (!tl || !tl->wants(timeline::Cat::Threadlet))
         return;
     active_ = true;
-    begin_ = eng->machine_->eq.now();
+    begin_ = eng->eq_.now();
     lane_ = eng->tlAcquireLane();
 }
 
@@ -196,7 +197,7 @@ MinnowEngine::TlSpan::~TlSpan()
         return;
     eng_->machine_->timeline->span(eng_->tlLaneTracks_[lane_], name_,
                                    begin_,
-                                   eng_->machine_->eq.now());
+                                   eng_->eq_.now());
     eng_->tlReleaseLane(lane_);
 }
 
@@ -231,7 +232,7 @@ MinnowEngine::tlCredits()
         creditsFree_ == tlLastCredits_)
         return;
     tlLastCredits_ = creditsFree_;
-    machine_->timeline->counter(tlCreditTrack_, machine_->eq.now(),
+    machine_->timeline->counter(tlCreditTrack_, eq_.now(),
                                 double(creditsFree_));
 }
 
@@ -378,13 +379,13 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
             machine_->faults->dropPrefetch(core_)) {
             stats_.prefetchDropped += 1;
             tc.exec(1);
-            co_return std::max(tc.ready(), machine_->eq.now());
+            co_return std::max(tc.ready(), eq_.now());
         }
         // Local L2 tag probe: a line already present needs no
         // prefetch, no credit and no load-buffer entry.
         if (machine_->memory.inL2(core_, addr)) {
             tc.exec(1);
-            co_return std::max(tc.ready(), machine_->eq.now());
+            co_return std::max(tc.ready(), eq_.now());
         }
         // Credits are consumed before issue; without one the
         // threadlet pauses until a prefetched line is consumed or
@@ -398,7 +399,7 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
             // Filled by someone while we waited; recycle the credit.
             creditReturn(false);
             tc.exec(1);
-            co_return std::max(tc.ready(), machine_->eq.now());
+            co_return std::max(tc.ready(), eq_.now());
         }
     }
     if (prefetch) {
@@ -408,7 +409,7 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
         co_await PoolAcquire{&loadBufWlFree_, &loadBufWlWaiters_,
                              &stats_.loadBufStalls};
     }
-    EventQueue &eq = machine_->eq;
+    EventQueue &eq = eq_;
     Cycle issue = std::max(tc.ready(), eq.now());
     mem::MemAccess req;
     req.addr = addr;
@@ -458,7 +459,7 @@ MinnowEngine::creditReturn(bool used)
         } else if (!creditDeadlineArmed_) {
             creditDeadlineArmed_ = true;
             adoptThreadlet(creditDeadline(
-                creditSeq_, machine_->eq.now() + pushFlushCycles()));
+                creditSeq_, eq_.now() + pushFlushCycles()));
         }
         return;
     }
@@ -475,14 +476,14 @@ MinnowEngine::creditDeliver(bool used)
     if (!creditWaiters_.empty()) {
         std::coroutine_handle<> h = creditWaiters_.front();
         creditWaiters_.pop_front();
-        machine_->eq.schedule(machine_->eq.now(), h);
+        eq_.schedule(eq_.now(), h);
         stats_.creditHandoffs += 1;
         // A direct handoff never touches creditsFree_, so the
         // credits counter track's change detection (tlCredits)
         // cannot see it; emit an explicit spike plus an instant so
         // handoffs show up in the Perfetto credits track.
         if (machine_->timeline) {
-            Cycle now = machine_->eq.now();
+            Cycle now = eq_.now();
             machine_->timeline->counter(tlCreditTrack_, now,
                                         double(creditsFree_) + 1.0);
             machine_->timeline->counter(tlCreditTrack_, now,
@@ -513,7 +514,7 @@ MinnowEngine::flushCredits()
 CoTask<void>
 MinnowEngine::creditDeadline(std::uint64_t seq, Cycle when)
 {
-    co_await WaitAt{&machine_->eq, when};
+    co_await WaitAt{&eq_, when};
     if (creditSeq_ != seq)
         co_return; // a size-triggered flush beat us.
     flushCredits();
@@ -528,7 +529,7 @@ MinnowEngine::releaseLoadBufSlot(bool prefetchPool)
     if (!waiters.empty()) {
         std::coroutine_handle<> h = waiters.front();
         waiters.pop_front();
-        machine_->eq.schedule(machine_->eq.now(), h);
+        eq_.schedule(eq_.now(), h);
     } else {
         free += 1;
         panic_if(free > params_.loadBufferEntries,
@@ -542,7 +543,7 @@ MinnowEngine::releaseThreadletSlot()
     if (!threadletSlotWaiters_.empty()) {
         std::coroutine_handle<> h = threadletSlotWaiters_.front();
         threadletSlotWaiters_.pop_front();
-        machine_->eq.schedule(machine_->eq.now(), h);
+        eq_.schedule(eq_.now(), h);
         return;
     }
     threadletSlotsFree_ += 1;
@@ -674,8 +675,8 @@ MinnowEngine::deliverToBlocked()
         blockedWorkers_.pop_front();
         *w.slot = popLocal();
         machine_->monitor.exitIdle();
-        machine_->eq.schedule(
-            machine_->eq.now() + params_.localQueueLatency,
+        eq_.schedule(
+            eq_.now() + params_.localQueueLatency,
             w.handle);
     }
     // Any local-queue surplus beyond the blocked workers can ride
@@ -689,7 +690,7 @@ MinnowEngine::nudgeDaemon()
     if (parkedDaemon_) {
         std::coroutine_handle<> h =
             std::exchange(parkedDaemon_, nullptr);
-        machine_->eq.schedule(machine_->eq.now(), h);
+        eq_.schedule(eq_.now(), h);
     }
 }
 
@@ -726,8 +727,8 @@ CoTask<void>
 MinnowEngine::specDepositTask(std::uint32_t idx, WorkItem item,
                               std::uint64_t seq)
 {
-    co_await WaitAt{&machine_->eq,
-                    machine_->eq.now() + params_.localQueueLatency};
+    co_await WaitAt{&eq_,
+                    eq_.now() + params_.localQueueLatency};
     spec_[idx].inFlight = false;
     if (faulted() || spec_[idx].seq != seq) {
         // Rescue/kill invalidated us mid-flight: the task goes to
@@ -738,7 +739,7 @@ MinnowEngine::specDepositTask(std::uint32_t idx, WorkItem item,
         if (machine_->timeline) {
             machine_->timeline->instant(tlEngine_,
                                         timeline::Name::SpecReclaim,
-                                        machine_->eq.now());
+                                        eq_.now());
         }
         co_return;
     }
@@ -754,8 +755,8 @@ MinnowEngine::specDepositTask(std::uint32_t idx, WorkItem item,
         stats_.specHits += 1;
         machine_->monitor.takeWork(1, false);
         machine_->monitor.exitIdle();
-        machine_->eq.schedule(
-            machine_->eq.now() + params_.localQueueLatency,
+        eq_.schedule(
+            eq_.now() + params_.localQueueLatency,
             w.handle);
         co_return;
     }
@@ -764,14 +765,14 @@ MinnowEngine::specDepositTask(std::uint32_t idx, WorkItem item,
     if (machine_->timeline) {
         machine_->timeline->instant(tlEngine_,
                                     timeline::Name::SpecDeposit,
-                                    machine_->eq.now());
+                                    eq_.now());
     }
 }
 
 CoTask<void>
 MinnowEngine::specConsumedTask(Cycle when)
 {
-    co_await WaitAt{&machine_->eq, when};
+    co_await WaitAt{&eq_, when};
     trySpecDeposit();
 }
 
@@ -783,7 +784,7 @@ MinnowEngine::onTerminate()
         // Slots stay nullopt: the cores see termination.
         BlockedWorker w = blockedWorkers_.front();
         blockedWorkers_.pop_front();
-        machine_->eq.schedule(machine_->eq.now(), w.handle);
+        eq_.schedule(eq_.now(), w.handle);
     }
 }
 
@@ -808,7 +809,7 @@ MinnowEngine::armFaults(const FaultInjector &faults)
 CoTask<void>
 MinnowEngine::faultTask(FaultClause clause)
 {
-    EventQueue &eq = machine_->eq;
+    EventQueue &eq = eq_;
     co_await WaitAt{&eq, clause.at};
     if (clause.kind == FaultClause::Kind::EngineKill) {
         injectKill();
@@ -832,10 +833,10 @@ MinnowEngine::injectKill()
     if (machine_->timeline) {
         machine_->timeline->instant(tlEngine_,
                                     timeline::Name::EngineKill,
-                                    machine_->eq.now());
+                                    eq_.now());
     }
     warn("minnow engine %u killed by fault injection at cycle %llu",
-         core_, (unsigned long long)machine_->eq.now());
+         core_, (unsigned long long)eq_.now());
     rescueLocalTasks();
     // Release blocked workers through the same path termination
     // uses; their slots stay empty and dequeue() sends them to the
@@ -852,9 +853,9 @@ MinnowEngine::injectStall(Cycle dur)
     if (machine_->timeline) {
         machine_->timeline->instant(tlEngine_,
                                     timeline::Name::EngineStall,
-                                    machine_->eq.now());
+                                    eq_.now());
     }
-    Cycle until = machine_->eq.now() + dur;
+    Cycle until = eq_.now() + dur;
     stallUntil_ = std::max(stallUntil_, until);
     cuBusyUntil_ = std::max(cuBusyUntil_, until);
     warn("minnow engine %u stalled by fault injection until cycle"
@@ -906,7 +907,7 @@ MinnowEngine::rescueLocalTasks()
             if (machine_->timeline) {
                 machine_->timeline->instant(
                     tlEngine_, timeline::Name::SpecReclaim,
-                    machine_->eq.now());
+                    eq_.now());
             }
         }
     }
@@ -923,7 +924,7 @@ MinnowEngine::rescueLocalTasks()
         if (machine_->timeline) {
             machine_->timeline->instant(tlEngine_,
                                         timeline::Name::TasksRescued,
-                                        machine_->eq.now());
+                                        eq_.now());
         }
     }
 }
@@ -934,7 +935,7 @@ MinnowEngine::recoverFromStall()
     if (machine_->timeline) {
         machine_->timeline->instant(tlEngine_,
                                     timeline::Name::EngineRecover,
-                                    machine_->eq.now());
+                                    eq_.now());
     }
     // Flush whatever arrived while frozen (a fill that completed
     // right at the window edge) so software-parked workers get
@@ -975,7 +976,7 @@ MinnowEngine::enqueue(SimContext &ctx, WorkItem item)
         co_return;
     }
     Cycle arrive = std::max(ctx.now() + params_.localQueueLatency,
-                            machine_->eq.now());
+                            eq_.now());
     adoptThreadlet(enqueueArrival(item, arrive));
     co_await ctx.sync();
 }
@@ -993,7 +994,7 @@ MinnowEngine::bufferPush(CoreId c, WorkItem item)
         pb.deadlineArmed = true;
         adoptThreadlet(pushDeadline(
             pushIdx(c), pb.seq,
-            machine_->eq.now() + pushFlushCycles()));
+            eq_.now() + pushFlushCycles()));
     }
 }
 
@@ -1009,7 +1010,7 @@ MinnowEngine::flushPushBuf(CoreId c)
     pb.deadlineArmed = false;
     stats_.pushFlushes += 1;
     stats_.pushedBatched += pb.items.size();
-    Cycle arrive = machine_->eq.now() + params_.localQueueLatency;
+    Cycle arrive = eq_.now() + params_.localQueueLatency;
     std::vector<WorkItem> items;
     items.swap(pb.items);
     adoptThreadlet(enqueueArrivalBatch(std::move(items), arrive));
@@ -1019,7 +1020,7 @@ CoTask<void>
 MinnowEngine::pushDeadline(std::uint32_t idx, std::uint64_t seq,
                            Cycle when)
 {
-    co_await WaitAt{&machine_->eq, when};
+    co_await WaitAt{&eq_, when};
     if (pushBufs_[idx].seq != seq)
         co_return; // a size-triggered flush beat us.
     flushPushBuf(core_ + idx);
@@ -1029,7 +1030,7 @@ CoTask<void>
 MinnowEngine::enqueueArrivalBatch(std::vector<WorkItem> items,
                                   Cycle when)
 {
-    co_await WaitAt{&machine_->eq, when};
+    co_await WaitAt{&eq_, when};
     if (faulted()) {
         // Same routing as the single-item arrival: the tasks were
         // booked pending-private; making them stealable in the
@@ -1068,7 +1069,7 @@ MinnowEngine::enqueueArrivalBatch(std::vector<WorkItem> items,
 CoTask<void>
 MinnowEngine::enqueueArrival(WorkItem item, Cycle when)
 {
-    co_await WaitAt{&machine_->eq, when};
+    co_await WaitAt{&eq_, when};
     if (faulted()) {
         // The engine cannot accept the call: the task is routed
         // straight to the software global queue, where any worker
@@ -1112,7 +1113,7 @@ CoTask<void>
 MinnowEngine::spillDrainThreadlet()
 {
     TlSpan tlspan(this, timeline::Name::SpillDrain);
-    ThreadletCtx tc(this, machine_->eq.now());
+    ThreadletCtx tc(this, eq_.now());
     std::vector<WorkItem> batch;
     while (!spillBuf_.empty()) {
         // Gather up to 64 items of the front item's bucket.
@@ -1184,7 +1185,7 @@ MinnowEngine::dequeue(SimContext &ctx)
         // Slot-free notification travels back off the critical path;
         // the engine refills the slot when it lands.
         adoptThreadlet(specConsumedTask(
-            machine_->eq.now() + params_.localQueueLatency));
+            eq_.now() + params_.localQueueLatency));
         co_return item;
     }
     stats_.dequeues += 1;
@@ -1192,7 +1193,7 @@ MinnowEngine::dequeue(SimContext &ctx)
     Cycle dqStart = ctx.now();
     Cycle t = ctx.now() + params_.localQueueLatency;
     co_await ctx.waitUntil(t);
-    ctx.core().idleUntil(machine_->eq.now());
+    ctx.core().idleUntil(eq_.now());
     stats_.dqDoorbellCycles += params_.localQueueLatency;
 
     if (faulted()) {
@@ -1206,7 +1207,7 @@ MinnowEngine::dequeue(SimContext &ctx)
         WorkItem item = popLocal();
         DPRINTF(Engine, "engine", "[%u] dequeue hit payload=%llu",
                 core_, (unsigned long long)item.payload);
-        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        dequeueLatencyHist_->sample(eq_.now() - dqStart);
         trySpecDeposit();
         co_return item;
     }
@@ -1220,10 +1221,10 @@ MinnowEngine::dequeue(SimContext &ctx)
         ctx.core().specInvalidate();
         stats_.specHits += 1;
         machine_->monitor.takeWork(1, false);
-        co_await ctx.waitUntil(machine_->eq.now() +
+        co_await ctx.waitUntil(eq_.now() +
                                params_.localQueueLatency);
-        ctx.core().idleUntil(machine_->eq.now());
-        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        ctx.core().idleUntil(eq_.now());
+        dequeueLatencyHist_->sample(eq_.now() - dqStart);
         stats_.dqDeliverCycles += params_.localQueueLatency;
         co_return item;
     }
@@ -1246,7 +1247,7 @@ MinnowEngine::dequeue(SimContext &ctx)
                            std::optional<WorkItem> *s) {
                             eng->blockedWorkers_.push_back({h, s});
                         }};
-    ctx.core().idleUntil(machine_->eq.now());
+    ctx.core().idleUntil(eq_.now());
     if (!slot && !machine_->monitor.terminated()) {
         // Released by fault injection, not termination: this worker
         // rejoins the run on the software worklist path.
@@ -1254,7 +1255,7 @@ MinnowEngine::dequeue(SimContext &ctx)
         co_return co_await dequeueFallback(ctx, dqStart);
     }
     if (slot) {
-        Cycle total = machine_->eq.now() - dqStart;
+        Cycle total = eq_.now() - dqStart;
         dequeueLatencyHist_->sample(total);
         stats_.dqDeliverCycles += params_.localQueueLatency;
         if (total >= 2 * Cycle(params_.localQueueLatency))
@@ -1285,7 +1286,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
         co_await ctx.sync();
         dequeueLatencyHist_->sample(ctx.now() - specStart);
         adoptThreadlet(specConsumedTask(
-            machine_->eq.now() + params_.localQueueLatency));
+            eq_.now() + params_.localQueueLatency));
         out.push_back(item);
         co_return 1;
     }
@@ -1293,7 +1294,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
     ctx.compute(1);
     Cycle dqStart = ctx.now();
     co_await ctx.waitUntil(dqStart + params_.localQueueLatency);
-    ctx.core().idleUntil(machine_->eq.now());
+    ctx.core().idleUntil(eq_.now());
     stats_.dqDoorbellCycles += params_.localQueueLatency;
 
     if (faulted()) {
@@ -1316,7 +1317,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
         stats_.dequeueBundleTasks += got;
         DPRINTF(Engine, "engine", "[%u] dequeue bundle n=%u",
                 core_, got);
-        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        dequeueLatencyHist_->sample(eq_.now() - dqStart);
         trySpecDeposit();
         co_return got;
     }
@@ -1328,10 +1329,10 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
         ctx.core().specInvalidate();
         stats_.specHits += 1;
         machine_->monitor.takeWork(1, false);
-        co_await ctx.waitUntil(machine_->eq.now() +
+        co_await ctx.waitUntil(eq_.now() +
                                params_.localQueueLatency);
-        ctx.core().idleUntil(machine_->eq.now());
-        dequeueLatencyHist_->sample(machine_->eq.now() - dqStart);
+        ctx.core().idleUntil(eq_.now());
+        dequeueLatencyHist_->sample(eq_.now() - dqStart);
         stats_.dqDeliverCycles += params_.localQueueLatency;
         out.push_back(item);
         stats_.dequeueBundleTasks += 1;
@@ -1355,7 +1356,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
                            std::optional<WorkItem> *s) {
                             eng->blockedWorkers_.push_back({h, s});
                         }};
-    ctx.core().idleUntil(machine_->eq.now());
+    ctx.core().idleUntil(eq_.now());
     if (!slot && !machine_->monitor.terminated()) {
         machine_->monitor.exitIdle();
         std::optional<WorkItem> one =
@@ -1367,7 +1368,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
     }
     if (!slot)
         co_return 0;
-    Cycle total = machine_->eq.now() - dqStart;
+    Cycle total = eq_.now() - dqStart;
     dequeueLatencyHist_->sample(total);
     stats_.dqDeliverCycles += params_.localQueueLatency;
     if (total >= 2 * Cycle(params_.localQueueLatency))
@@ -1398,7 +1399,7 @@ MinnowEngine::dequeueFallback(SimContext &ctx, Cycle dqStart)
             if (got) {
                 mon.takeWork(1, true);
                 stats_.fallbackPops += 1;
-                dequeueLatencyHist_->sample(machine_->eq.now() -
+                dequeueLatencyHist_->sample(eq_.now() -
                                             dqStart);
                 co_return item;
             }
@@ -1407,13 +1408,13 @@ MinnowEngine::dequeueFallback(SimContext &ctx, Cycle dqStart)
         if (mon.stealable() > 0) {
             // Accounting is ahead of the functional queue (a racing
             // spill is in flight): bounded back-off, then recheck.
-            co_await ctx.waitUntil(machine_->eq.now() + 200);
-            ctx.core().idleUntil(machine_->eq.now());
+            co_await ctx.waitUntil(eq_.now() + 200);
+            ctx.core().idleUntil(eq_.now());
             continue;
         }
         ctx.core().setPhase(cpu::Phase::Idle);
         bool more = co_await mon.waitForWork();
-        ctx.core().idleUntil(machine_->eq.now());
+        ctx.core().idleUntil(eq_.now());
         ctx.core().setPhase(cpu::Phase::Worklist);
         if (!more)
             co_return std::nullopt;
@@ -1426,7 +1427,7 @@ MinnowEngine::flush(SimContext &ctx)
     PhaseGuard guard(ctx, cpu::Phase::Worklist);
     flushPushBuf(ctx.id()); // buffered pushes spill with the rest.
     co_await ctx.waitUntil(ctx.now() + params_.localQueueLatency);
-    ctx.core().idleUntil(machine_->eq.now());
+    ctx.core().idleUntil(eq_.now());
     while (!localQ_.empty()) {
         WorkItem item = localQ_.front();
         localQ_.pop_front();
@@ -1443,7 +1444,7 @@ CoTask<void>
 MinnowEngine::spillThreadlet(WorkItem item)
 {
     TlSpan tlspan(this, timeline::Name::Spill);
-    ThreadletCtx tc(this, machine_->eq.now());
+    ThreadletCtx tc(this, eq_.now());
     tc.exec(4);
     co_await global_->spill(tc, item);
     machine_->monitor.transferWork(1, true);
@@ -1454,7 +1455,7 @@ CoTask<void>
 MinnowEngine::fillDaemon()
 {
     TlSpan tlspan(this, timeline::Name::FillDaemon);
-    ThreadletCtx tc(this, machine_->eq.now());
+    ThreadletCtx tc(this, eq_.now());
     runtime::WorkMonitor &mon = machine_->monitor;
 
     struct Park
@@ -1486,7 +1487,7 @@ MinnowEngine::fillDaemon()
             // Control unit frozen: sleep through the stall window
             // (no fills — workers are on the software path and a
             // hoarded local queue would strand tasks).
-            co_await WaitAt{&machine_->eq, stallUntil_};
+            co_await WaitAt{&eq_, stallUntil_};
             continue;
         }
         bool localLow =
@@ -1508,7 +1509,7 @@ MinnowEngine::fillDaemon()
         }
         if (localLow && priorityOk && global_->size() > 0 &&
             space > 0) {
-            Cycle fbStart = machine_->eq.now();
+            Cycle fbStart = eq_.now();
             tc.exec(4);
             batch.clear();
             std::uint32_t burst =
@@ -1540,7 +1541,7 @@ MinnowEngine::fillDaemon()
                 if (machine_->timeline) {
                     machine_->timeline->span(
                         tlEngine_, timeline::Name::FillBatch,
-                        fbStart, machine_->eq.now());
+                        fbStart, eq_.now());
                 }
             }
             continue;
@@ -1590,7 +1591,7 @@ MinnowEngine::fillDaemon()
         // Transient (a racing fill's accounting is in flight) or
         // priority-gated (global head is lower priority than our
         // queue): bounded back-off, then recheck.
-        co_await WaitAt{&machine_->eq, machine_->eq.now() + 200};
+        co_await WaitAt{&eq_, eq_.now() + 200};
     }
     daemonRunning_ = false;
     releaseThreadletSlot();
@@ -1600,7 +1601,7 @@ CoTask<void>
 MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
 {
     TlSpan tlspan(this, timeline::Name::PrefetchTask);
-    ThreadletCtx tc(this, machine_->eq.now());
+    ThreadletCtx tc(this, eq_.now());
     const graph::CsrGraph &g = *program_.graph;
     NodeId v = NodeId(item.payload & 0xffffffffu);
     std::uint32_t part = std::uint32_t(item.payload >> 32);
@@ -1719,7 +1720,7 @@ MinnowEngine::finishChild(SpawnGate *gate, bool usedReserved)
             SpawnGate::ChildWaiter *w = gate->spawnWaiters.front();
             gate->spawnWaiters.pop_front();
             w->viaReserved = true; // token passes directly on.
-            machine_->eq.schedule(machine_->eq.now(), w->handle);
+            eq_.schedule(eq_.now(), w->handle);
         } else {
             gate->reservedFree += 1;
         }
@@ -1730,7 +1731,7 @@ MinnowEngine::finishChild(SpawnGate *gate, bool usedReserved)
     if (gate->active == 0 && gate->joinWaiter) {
         std::coroutine_handle<> h =
             std::exchange(gate->joinWaiter, nullptr);
-        machine_->eq.schedule(machine_->eq.now(), h);
+        eq_.schedule(eq_.now(), h);
     }
 }
 
@@ -1741,7 +1742,7 @@ MinnowEngine::prefetchEdgeThreadlet(EdgeId e, EdgeId endEdge,
                                     bool usedReserved)
 {
     TlSpan tlspan(this, timeline::Name::PrefetchEdge);
-    ThreadletCtx tc(this, machine_->eq.now());
+    ThreadletCtx tc(this, eq_.now());
     const graph::CsrGraph &g = *program_.graph;
 
     // Fig. 14 prefetchEdge(), line-granular: fetch the edge line,
@@ -1844,7 +1845,8 @@ MinnowEngine::checkpoint(ckpt::Ckpt &ck)
     ck.io(stallUntil_);
     // Pointers into the machine, coroutine frames/handles, waiter
     // queues and timeline/stat bookkeeping are rebuilt by replay.
-    ck.transient("machine_ global_ program_ params_ blockedWorkers_"
+    ck.transient("machine_ eq_ global_ program_ params_"
+                 " blockedWorkers_"
                  " threadletSlotWaiters_ loadBufWlWaiters_"
                  " loadBufPfWaiters_ creditWaiters_ parkedDaemon_"
                  " tlEngine_ tlCreditTrack_ tlLastCredits_"

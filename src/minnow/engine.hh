@@ -236,7 +236,7 @@ class MinnowEngine
     bool dead() const { return dead_; }
     bool stalled() const
     {
-        return machine_->eq.now() < stallUntil_;
+        return eq_.now() < stallUntil_;
     }
     /** True while the engine cannot serve its cores. */
     bool faulted() const { return dead_ || stalled(); }
@@ -440,6 +440,9 @@ class MinnowEngine
                                                 bool usedReserved);
 
     runtime::Machine *machine_;
+    /** This engine's shard timing wheel (the machine's single queue
+     *  at --shards=1); all wheels advance in lockstep. */
+    EventQueue &eq_;
     CoreId core_;
     MinnowGlobalQueue *global_;
     PrefetchProgram program_;

@@ -29,6 +29,9 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/hostprof.hh"
+#include "sim/parallel/shard_map.hh"
+#include "sim/parallel/shard_pool.hh"
+#include "sim/parallel/sharded_scheduler.hh"
 #include "sim/timeline.hh"
 #include "sim/watchdog.hh"
 
@@ -46,6 +49,47 @@ class Machine
           monitor(&eq, config.numCores)
     {
         cfg.validate();
+        // Sharded-host mode (DESIGN.md 5j): build the extra wheels,
+        // the weave scheduler and the host-thread pool before any
+        // component schedules an event — the scheduler attaches the
+        // machine-global sequence counter to every wheel, which must
+        // happen while they are all empty. With one shard (or a
+        // partition that collapses to one — e.g. a single engine
+        // group) none of this exists and eq takes the exact legacy
+        // single-wheel path.
+        if (cfg.shards > 1) {
+            shardMap_ = std::make_unique<parallel::ShardMap>(
+                cfg.numCores, cfg.minnow.coresPerEngine, cfg.shards);
+            if (shardMap_->numShards() > 1) {
+                std::vector<EventQueue *> wheels;
+                wheels.push_back(&eq);
+                for (std::uint32_t s = 1;
+                     s < shardMap_->numShards(); ++s) {
+                    shardWheels_.push_back(
+                        std::make_unique<EventQueue>());
+                    wheels.push_back(shardWheels_.back().get());
+                }
+                sched_ =
+                    std::make_unique<parallel::ShardedScheduler>(
+                        std::move(wheels));
+                pool_ = std::make_unique<parallel::ShardPool>(
+                    shardMap_->numShards());
+            } else {
+                shardMap_.reset();
+            }
+        }
+        if (pool_) {
+            // Offload interval-sample evaluation (the dominant
+            // serial-phase cost at 64 cores: ~40 stats per core
+            // slice) onto the pool; the merge stays byte-identical
+            // (see StatsRegistry::setSampleExecutor).
+            stats.setSampleExecutor(
+                pool_->lanes(),
+                [this](
+                    const std::function<void(std::uint32_t)> &fn) {
+                    pool_->runOnAll(fn);
+                });
+        }
         trace::setCycleSource(&eq.nowRef());
         if (!cfg.timelinePath.empty()) {
             timeline = std::make_unique<::minnow::timeline::Timeline>(
@@ -109,12 +153,28 @@ class Machine
             hostprof = std::make_unique<HostProfiler>();
             hostprof->registerStats(stats);
             eq.setHostProfiler(hostprof.get());
+            if (sched_) {
+                sched_->setHostProfiler(hostprof.get());
+                pool_->setProfiler(hostprof.get());
+                hostprof->setBarrierWaitSource([this] {
+                    std::uint64_t ns = 0;
+                    for (std::uint32_t l = 0; l < pool_->lanes();
+                         ++l)
+                        ns += pool_->barrierWaitNs(l);
+                    return ns;
+                });
+            }
             hostprof->activate();
         }
         // A timed-out run leaves the same post-mortem as a hung one.
         eq.setDiagnosticHook([this](const char *reason) {
             dumpDiagnostic(*this, reason);
         });
+        if (sched_) {
+            sched_->setDiagnosticHook([this](const char *reason) {
+                dumpDiagnostic(*this, reason);
+            });
+        }
         panicHookId_ = addPanicHook(&Machine::panicHook, this);
     }
 
@@ -149,6 +209,117 @@ class Machine
             n += c->stats().uops;
         return n;
     }
+
+    // -----------------------------------------------------------
+    // Run control: one surface over the legacy single wheel and
+    // the sharded weave, so drivers (galois executor, BSP engine,
+    // harness) never branch on the shard count themselves.
+    // -----------------------------------------------------------
+
+    /** True when the machine runs as a sharded weave (--shards>1). */
+    bool sharded() const { return sched_ != nullptr; }
+
+    /** Host shard count actually in effect (after clamping). */
+    std::uint32_t
+    shardCount() const
+    {
+        return shardMap_ ? shardMap_->numShards() : 1;
+    }
+
+    /**
+     * The timing wheel owning @p core's events: its shard's wheel in
+     * sharded mode, else the single global queue. Components cache
+     * this at attach time (SimContext, MinnowEngine); all wheels
+     * advance in lockstep, so now() agrees everywhere.
+     */
+    EventQueue &
+    wheelFor(CoreId core)
+    {
+        if (!shardMap_)
+            return eq;
+        std::uint32_t s = shardMap_->shardOf(core);
+        return s == 0 ? eq : *shardWheels_[s - 1];
+    }
+
+    /** Run up to @p maxEvents events (0 = unlimited); see
+     *  EventQueue::run / ShardedScheduler::run. */
+    std::uint64_t
+    runEvents(std::uint64_t maxEvents = 0)
+    {
+        return sched_ ? sched_->run(maxEvents) : eq.run(maxEvents);
+    }
+
+    void
+    setStopTrigger(Cycle when, std::uint64_t execCount)
+    {
+        if (sched_)
+            sched_->setStopTrigger(when, execCount);
+        else
+            eq.setStopTrigger(when, execCount);
+    }
+
+    bool
+    stopTriggerFired() const
+    {
+        return sched_ ? sched_->stopTriggerFired()
+                      : eq.stopTriggerFired();
+    }
+
+    void
+    ackStopTrigger()
+    {
+        if (sched_)
+            sched_->ackStopTrigger();
+        else
+            eq.ackStopTrigger();
+    }
+
+    void
+    setInterruptSource(const volatile std::sig_atomic_t *src)
+    {
+        if (sched_)
+            sched_->setInterruptSource(src);
+        else
+            eq.setInterruptSource(src);
+    }
+
+    bool
+    interrupted() const
+    {
+        return sched_ ? sched_->interrupted() : eq.interrupted();
+    }
+
+    /** Events executed, whole machine (all wheels). */
+    std::uint64_t
+    executedTotal() const
+    {
+        return sched_ ? sched_->executed() : eq.executed();
+    }
+
+    /** Events pending, whole machine (all wheels). */
+    std::size_t
+    pendingTotal() const
+    {
+        return sched_ ? sched_->pending() : eq.pending();
+    }
+
+    /** Pending daemon events, whole machine. */
+    std::size_t
+    daemonsTotal() const
+    {
+        return sched_ ? sched_->daemonsPending()
+                      : eq.daemonsPending();
+    }
+
+    /** Earliest pending event cycle over the whole machine. */
+    Cycle
+    nextEventTime() const
+    {
+        return sched_ ? sched_->headTime() : eq.headTime();
+    }
+
+    /** Host-thread pool (null at --shards=1). */
+    parallel::ShardPool *pool() { return pool_.get(); }
 
     // -----------------------------------------------------------
     // Checkpoint/restore (DESIGN.md section 5i).
@@ -200,7 +371,26 @@ class Machine
             w.add("config", std::move(buf));
         }
         w.add("alloc", ckpt::serialize(alloc));
-        w.add("eq", ckpt::serialize(eq));
+        if (sched_) {
+            // Same four-field witness layout EventQueue::checkpoint
+            // emits, with the counts summed over every shard wheel
+            // and the weave's executed count: the section is
+            // shard-count-invariant, so a checkpoint saved at
+            // --shards=4 validates byte-for-byte at --shards=1.
+            std::vector<std::uint8_t> buf;
+            ckpt::Ckpt ck = ckpt::Ckpt::saver(&buf);
+            Cycle t = eq.now();
+            ck.io(t);
+            std::uint64_t v = sched_->pending();
+            ck.io(v);
+            v = sched_->daemonsPending();
+            ck.io(v);
+            std::uint64_t ex = sched_->executed();
+            ck.io(ex);
+            w.add("eq", std::move(buf));
+        } else {
+            w.add("eq", ckpt::serialize(eq));
+        }
         w.add("monitor", ckpt::serialize(monitor));
         w.add("mem", ckpt::serialize(memory));
         for (CoreId i = 0; i < cfg.numCores; ++i) {
@@ -337,6 +527,17 @@ class Machine
     }
 
     int panicHookId_ = 0;
+
+    /**
+     * Sharded-host state (all null at --shards=1). Declaration
+     * order matters for destruction: the pool joins its threads
+     * first, then the scheduler detaches, then the extra wheels die
+     * (eq, a plain member, outlives all of them).
+     */
+    std::unique_ptr<parallel::ShardMap> shardMap_;
+    std::vector<std::unique_ptr<EventQueue>> shardWheels_;
+    std::unique_ptr<parallel::ShardedScheduler> sched_;
+    std::unique_ptr<parallel::ShardPool> pool_;
 
     /** Run-scoped checkpoint sections, in registration order. */
     std::vector<

@@ -41,6 +41,7 @@ class SimContext
     SimContext(Machine *machine, CoreId core)
         : machine_(machine),
           core_(machine->cores[core].get()),
+          eq_(&machine->wheelFor(core)),
           id_(core)
     {
     }
@@ -48,7 +49,14 @@ class SimContext
     CoreId id() const { return id_; }
     Machine &machine() { return *machine_; }
     cpu::OooCore &core() { return *core_; }
-    EventQueue &eq() { return machine_->eq; }
+
+    /**
+     * This worker's timing wheel: its shard's wheel under --shards>1
+     * (so scheduling stays on the owner shard), else the machine's
+     * single queue. now() is the same on every wheel — they advance
+     * in lockstep.
+     */
+    EventQueue &eq() { return *eq_; }
     WorkMonitor &monitor() { return machine_->monitor; }
 
     /**
@@ -206,6 +214,7 @@ class SimContext
   private:
     Machine *machine_;
     cpu::OooCore *core_;
+    EventQueue *eq_; //!< this core's shard wheel (see eq()).
     CoreId id_;
 };
 

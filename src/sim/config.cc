@@ -40,6 +40,7 @@ MachineConfig::validate() const
              "watchdog needs at least one stale check to trip");
     fatal_if(!timelinePath.empty() && timelineBufferCap == 0,
              "--timeline needs a nonzero --timeline-buffer");
+    fatal_if(shards == 0, "--shards must be at least 1");
 }
 
 void
@@ -64,6 +65,9 @@ MachineConfig::applyOptions(const Options &opts)
     statsSampleInterval = std::uint32_t(
         opts.getUint("stats-interval", statsSampleInterval));
     hostProfile = opts.getBool("host-profile", hostProfile);
+    // Host performance knob only — byte-identical results across
+    // values, so it never enters describe()/configFingerprint().
+    shards = std::uint32_t(opts.getUint("shards", shards));
 
     // Simulated-time timeline tracing (sim/timeline.hh).
     timelinePath = opts.getString("timeline", timelinePath);

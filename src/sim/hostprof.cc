@@ -6,7 +6,8 @@
 namespace minnow
 {
 
-HostProfiler *HostProfiler::active_ = nullptr;
+thread_local HostProfiler *HostProfiler::active_ = nullptr;
+thread_local std::uint32_t HostProfiler::threadLane_ = 0;
 
 std::uint64_t
 HostProfiler::nowNs()
@@ -61,24 +62,26 @@ HostProfiler::wallNs() const
 void
 HostProfiler::enter(HostClass c)
 {
+    Lane &ln = lanes_[threadLane_];
     std::uint64_t t = nowNs();
-    if (depth_ != 0)
-        classNs_[stack_[depth_ - 1]] += t - sliceStart_;
-    panic_if(depth_ >= kMaxDepth, "host-profiler scope stack"
+    if (ln.depth != 0)
+        ln.classNs[ln.stack[ln.depth - 1]] += t - ln.sliceStart;
+    panic_if(ln.depth >= kMaxDepth, "host-profiler scope stack"
              " overflow (a HostProfScope leaked across a"
              " suspension?)");
-    stack_[depth_++] = std::uint8_t(c);
-    ++classCalls_[std::size_t(c)];
-    sliceStart_ = t;
+    ln.stack[ln.depth++] = std::uint8_t(c);
+    ++ln.classCalls[std::size_t(c)];
+    ln.sliceStart = t;
 }
 
 void
 HostProfiler::exit()
 {
-    panic_if(depth_ == 0, "host-profiler scope underflow");
+    Lane &ln = lanes_[threadLane_];
+    panic_if(ln.depth == 0, "host-profiler scope underflow");
     std::uint64_t t = nowNs();
-    classNs_[stack_[--depth_]] += t - sliceStart_;
-    sliceStart_ = t;
+    ln.classNs[ln.stack[--ln.depth]] += t - ln.sliceStart;
+    ln.sliceStart = t;
 }
 
 void
@@ -105,13 +108,22 @@ HostProfiler::registerStats(StatsRegistry &reg)
         std::string base = names[c];
         g.formula(base + "Ns",
                   "host ns attributed to the " + base +
-                      " component class (exclusive)",
-                  [this, c] { return double(classNs_[c]); });
+                      " component class (exclusive, all lanes)",
+                  [this, c] { return double(classNs(HostClass(c))); });
         g.formula(base + "Calls",
                   "instrumented entries into the " + base +
-                      " component class",
-                  [this, c] { return double(classCalls_[c]); });
+                      " component class (all lanes)",
+                  [this, c] {
+                      return double(classCalls(HostClass(c)));
+                  });
     }
+    g.formula("barrierWaitNs",
+              "host ns pool lanes spent waiting at shard epoch"
+              " barriers (0 when --shards=1)",
+              [this] {
+                  return barrierWaitFn_ ? double(barrierWaitFn_())
+                                        : 0.0;
+              });
     g.formula("otherNs",
               "run() wall time not attributed to any component"
               " class (scheduler, coroutine glue)",
@@ -120,7 +132,7 @@ HostProfiler::registerStats(StatsRegistry &reg)
                   for (std::size_t c = 0;
                        c < std::size_t(HostClass::kNumClasses);
                        ++c)
-                      sum += double(classNs_[c]);
+                      sum += double(classNs(HostClass(c)));
                   double w = double(wallNs());
                   return w > sum ? w - sum : 0.0;
               });

@@ -1,0 +1,42 @@
+#include "sim/parallel/epoch_barrier.hh"
+
+#include "base/host_clock.hh"
+#include "base/logging.hh"
+
+namespace minnow::parallel
+{
+
+EpochBarrier::EpochBarrier(std::uint32_t lanes)
+    : lanes_(lanes), waitNs_(lanes)
+{
+    fatal_if(lanes == 0, "barrier needs at least one lane");
+}
+
+void
+EpochBarrier::arriveAndWait(std::uint32_t lane)
+{
+    std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    // acq_rel: the last arrival's release publishes every earlier
+    // lane's writes (acquired here) onward through the epoch store.
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        lanes_) {
+        arrived_.store(0, std::memory_order_relaxed);
+        epoch_.store(e + 1, std::memory_order_release);
+        epoch_.notify_all();
+        return;
+    }
+    std::uint64_t t0 = hostNowNs();
+    for (std::uint32_t i = 0; i < kSpinIters; ++i) {
+        if (epoch_.load(std::memory_order_acquire) != e) {
+            waitNs_[lane].ns.fetch_add(hostNowNs() - t0,
+                                       std::memory_order_relaxed);
+            return;
+        }
+    }
+    while (epoch_.load(std::memory_order_acquire) == e)
+        epoch_.wait(e, std::memory_order_acquire);
+    waitNs_[lane].ns.fetch_add(hostNowNs() - t0,
+                               std::memory_order_relaxed);
+}
+
+} // namespace minnow::parallel

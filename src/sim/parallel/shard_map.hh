@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shard partition geometry: which contiguous slice of cores (and
+ * therefore which L2 slices and Minnow engines) each shard owns.
+ *
+ * The partition is derived purely from (numCores, coresPerEngine,
+ * shards), so every process computes the identical map — it carries
+ * no run state and never enters a checkpoint. Shard boundaries are
+ * aligned to engine groups: an engine and all the cores it serves
+ * always land in the same shard, so an engine's event traffic stays
+ * on its owner's timing wheel.
+ */
+
+#ifndef MINNOW_SIM_PARALLEL_SHARD_MAP_HH
+#define MINNOW_SIM_PARALLEL_SHARD_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace minnow::parallel
+{
+
+/** Contiguous core -> shard partition, engine-group aligned. */
+class ShardMap
+{
+  public:
+    /**
+     * @param numCores       Simulated cores in the machine.
+     * @param coresPerEngine Engine group width (>= 1); boundaries
+     *                       are aligned to multiples of it.
+     * @param shards         Requested shard count (>= 1). Clamped
+     *                       to the number of engine groups so no
+     *                       shard is empty.
+     */
+    ShardMap(std::uint32_t numCores, std::uint32_t coresPerEngine,
+             std::uint32_t shards)
+    {
+        fatal_if(numCores == 0, "shard map needs at least one core");
+        fatal_if(shards == 0, "--shards must be at least 1");
+        std::uint32_t group = coresPerEngine ? coresPerEngine : 1;
+        std::uint32_t groups = (numCores + group - 1) / group;
+        std::uint32_t n = shards < groups ? shards : groups;
+        first_.reserve(n + 1);
+        // Distribute engine groups round-down with remainder spread
+        // over the leading shards: deterministic and balanced to
+        // within one group.
+        std::uint32_t base = groups / n;
+        std::uint32_t extra = groups % n;
+        std::uint32_t g = 0;
+        for (std::uint32_t s = 0; s < n; ++s) {
+            first_.push_back(g * group);
+            g += base + (s < extra ? 1 : 0);
+        }
+        first_.push_back(numCores);
+        shardOf_.resize(numCores);
+        for (std::uint32_t s = 0; s < n; ++s) {
+            for (std::uint32_t c = first_[s];
+                 c < first_[s + 1] && c < numCores; ++c)
+                shardOf_[c] = s;
+        }
+    }
+
+    std::uint32_t numShards() const
+    {
+        return std::uint32_t(first_.size() - 1);
+    }
+
+    std::uint32_t shardOf(CoreId core) const
+    {
+        return shardOf_[core];
+    }
+
+    /** First core owned by shard @p s. */
+    std::uint32_t firstCore(std::uint32_t s) const
+    {
+        return first_[s];
+    }
+
+    /** Cores owned by shard @p s. */
+    std::uint32_t
+    coresIn(std::uint32_t s) const
+    {
+        return first_[s + 1] - first_[s];
+    }
+
+  private:
+    std::vector<std::uint32_t> first_; //!< size numShards()+1.
+    std::vector<std::uint32_t> shardOf_;
+};
+
+} // namespace minnow::parallel
+
+#endif // MINNOW_SIM_PARALLEL_SHARD_MAP_HH

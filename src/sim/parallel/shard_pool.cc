@@ -1,0 +1,57 @@
+#include "sim/parallel/shard_pool.hh"
+
+#include "base/logging.hh"
+#include "sim/hostprof.hh"
+
+namespace minnow::parallel
+{
+
+ShardPool::ShardPool(std::uint32_t lanes)
+    : lanes_(lanes ? lanes : 1), open_(lanes_), close_(lanes_)
+{
+    threads_.reserve(lanes_ - 1);
+    for (std::uint32_t l = 1; l < lanes_; ++l)
+        threads_.emplace_back(&ShardPool::workerLoop, this, l);
+}
+
+ShardPool::~ShardPool()
+{
+    if (lanes_ > 1) {
+        shutdown_ = true; // published by the opening barrier.
+        open_.arriveAndWait(0);
+        for (std::thread &t : threads_)
+            t.join();
+    }
+}
+
+void
+ShardPool::runOnAll(const std::function<void(std::uint32_t)> &fn)
+{
+    if (lanes_ == 1) {
+        fn(0);
+        return;
+    }
+    job_ = &fn;
+    open_.arriveAndWait(0);
+    fn(0);
+    close_.arriveAndWait(0);
+}
+
+void
+ShardPool::workerLoop(std::uint32_t lane)
+{
+    HostProfiler::setThreadLane(lane);
+    for (;;) {
+        open_.arriveAndWait(lane);
+        if (shutdown_)
+            return;
+        // Adopt the leader's profiler so HostProfScope on this
+        // thread records into this lane's counters.
+        HostProfiler::setThreadActive(prof_);
+        (*job_)(lane);
+        HostProfiler::setThreadActive(nullptr);
+        close_.arriveAndWait(lane);
+    }
+}
+
+} // namespace minnow::parallel

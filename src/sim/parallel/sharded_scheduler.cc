@@ -1,0 +1,190 @@
+#include "sim/parallel/sharded_scheduler.hh"
+
+#include <coroutine>
+
+#include "sim/hostprof.hh"
+
+namespace minnow::parallel
+{
+
+/*
+ * Why the weave reproduces the single-wheel order exactly: every
+ * scheduleCompact on any wheel consumes one value from the shared
+ * seq_ counter, so the set of (cycle, seq) keys is identical to the
+ * keys the single wheel would have assigned (scheduling happens in
+ * the same global order — event execution is the only source of
+ * schedules and the weave executes events in key order, inductively).
+ * Within one wheel, bucket position is seq order (argument at the
+ * top of event_queue.cc, unchanged); across wheels the run loop
+ * picks the minimum head seq at the current cycle. Minimum over
+ * wheels of per-wheel minima == global minimum, so events pop in
+ * global (cycle, seq) order.
+ */
+
+ShardedScheduler::ShardedScheduler(std::vector<EventQueue *> wheels)
+    : wheels_(std::move(wheels))
+{
+    panic_if(wheels_.empty(), "sharded scheduler needs >= 1 wheel");
+    for (EventQueue *w : wheels_) {
+        w->setSeqSource(&seq_);
+        w->setQuiescenceProbe(this);
+    }
+}
+
+std::size_t
+ShardedScheduler::pending() const
+{
+    std::size_t n = 0;
+    for (const EventQueue *w : wheels_)
+        n += w->pending();
+    return n;
+}
+
+std::size_t
+ShardedScheduler::daemonsPending() const
+{
+    std::size_t n = 0;
+    for (const EventQueue *w : wheels_)
+        n += w->daemonsPending();
+    return n;
+}
+
+Cycle
+ShardedScheduler::headTime() const
+{
+    Cycle best = now();
+    bool any = false;
+    for (const EventQueue *w : wheels_) {
+        if (w->pending() == 0)
+            continue;
+        Cycle t = w->headTime();
+        if (!any || t < best) {
+            best = t;
+            any = true;
+        }
+    }
+    return best;
+}
+
+bool
+ShardedScheduler::quiescent() const
+{
+    return pending() <= daemonsPending();
+}
+
+std::uint64_t
+ShardedScheduler::run(std::uint64_t maxEvents)
+{
+    panic_if(running_,
+             "ShardedScheduler::run() re-entered from inside an"
+             " event");
+    running_ = true;
+    stopped_ = false;
+    interrupted_ = false;
+    if (prof_)
+        prof_->beginRun();
+
+    const std::uint64_t budget0 =
+        maxEvents ? maxEvents : ~std::uint64_t(0);
+    std::uint64_t budget = budget0;
+
+    std::size_t left = pending();
+    while (left != 0 && budget != 0 && !stopped_) {
+        if (triggersArmed_ && pollTriggers()) [[unlikely]]
+            break;
+        // k-way merge step: the wheel holding the globally smallest
+        // sequence tag at the current cycle executes next.
+        EventQueue *best = nullptr;
+        std::uint64_t bestSeq = 0;
+        for (EventQueue *w : wheels_) {
+            if (!w->shardHasEventNow())
+                continue;
+            std::uint64_t s = w->shardHeadSeq();
+            if (!best || s < bestSeq) {
+                best = w;
+                bestSeq = s;
+            }
+        }
+        if (!best) {
+            // Every wheel drained its bucket for the current cycle:
+            // recycle and advance the group clock in lockstep.
+            advanceAll();
+            continue;
+        }
+        EventQueue::Compact ev = best->shardPop();
+        --left;
+        --budget;
+        if (prof_)
+            prof_->eventTick(left);
+        if (ev.fn)
+            ev.fn(ev.arg);
+        else
+            std::coroutine_handle<>::from_address(ev.arg).resume();
+        ++executed_;
+        // Executing the event may have scheduled onto any wheel.
+        left = pending();
+    }
+
+    // Normalize exactly like EventQueue::run so the occupancy
+    // bitmaps are exact across run() calls.
+    for (EventQueue *w : wheels_)
+        w->shardRecycleNow();
+
+    running_ = false;
+    if (prof_)
+        prof_->endRun();
+
+    if (budget == 0 && left != 0 && !stopped_) {
+        warn("event budget of %llu exhausted; stopping simulation",
+             (unsigned long long)maxEvents);
+        if (diagHook_)
+            diagHook_("event budget exhausted");
+    }
+    return budget0 - budget;
+}
+
+bool
+ShardedScheduler::pollTriggers()
+{
+    // Same contract as EventQueue::pollTriggers: the stop trigger
+    // halts between events and schedules nothing, and the signal
+    // flag is polled every 1024 events.
+    if (stopTriggerArmed_ && now() >= stopAtCycle_ &&
+        executed_ >= stopAtExec_) {
+        stopTriggerArmed_ = false;
+        stopTriggerFired_ = true;
+        triggersArmed_ = interruptSource_ != nullptr;
+        return true;
+    }
+    if (interruptSource_ && (executed_ & 1023) == 0 &&
+        *interruptSource_ != 0) {
+        interrupted_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+ShardedScheduler::advanceAll()
+{
+    Cycle best = 0;
+    bool any = false;
+    for (EventQueue *w : wheels_) {
+        w->shardRecycleNow();
+        if (w->pending() == 0)
+            continue;
+        Cycle t = w->headTime();
+        if (!any || t < best) {
+            best = t;
+            any = true;
+        }
+    }
+    panic_if(!any, "advanceAll with no pending event on any wheel");
+    // All wheels advance in lockstep so cross-wheel schedules (an
+    // event on wheel A scheduling work for a core on wheel B) are
+    // always relative to one shared clock.
+    for (EventQueue *w : wheels_)
+        w->shardSyncTo(best);
+}
+
+} // namespace minnow::parallel

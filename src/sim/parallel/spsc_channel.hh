@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Typed single-producer/single-consumer channel for cross-shard
+ * traffic (DESIGN.md section 5j).
+ *
+ * Every cross-thread hand-off in the sharded simulator goes through
+ * one of these: shard workers publish their per-epoch results into
+ * their own channel and the weave leader drains the channels in
+ * canonical source-shard order, so host-thread scheduling can never
+ * reorder what the simulation observes.
+ *
+ * Memory model: push() releases, pop() acquires — everything the
+ * producer wrote before push() is visible to the consumer after a
+ * successful pop(). Each message carries a channel-local sequence
+ * number stamped by the producer; consumers can assert contiguity
+ * (seq gaps would mean a lost or reordered message, which the ring
+ * makes impossible by construction — the assert documents it).
+ *
+ * The ring is bounded and allocation-free after construction; push
+ * on a full ring returns false (callers size channels for their
+ * epoch batch and treat overflow as a logic error).
+ */
+
+#ifndef MINNOW_SIM_PARALLEL_SPSC_CHANNEL_HH
+#define MINNOW_SIM_PARALLEL_SPSC_CHANNEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace minnow::parallel
+{
+
+/** One message with its producer-stamped channel sequence. */
+template <typename T>
+struct Stamped
+{
+    std::uint64_t seq = 0;
+    T value{};
+};
+
+/** Bounded SPSC ring; exactly one producer and one consumer thread. */
+template <typename T>
+class SpscChannel
+{
+  public:
+    explicit SpscChannel(std::size_t capacity)
+        : ring_(capacity ? capacity : 1)
+    {
+    }
+
+    SpscChannel(const SpscChannel &) = delete;
+    SpscChannel &operator=(const SpscChannel &) = delete;
+
+    /**
+     * Producer side: enqueue @p v, stamping it with the next channel
+     * sequence. @return false when the ring is full (nothing
+     * enqueued, sequence not consumed).
+     */
+    bool
+    push(T v)
+    {
+        std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        std::uint64_t h = head_.load(std::memory_order_acquire);
+        if (t - h >= ring_.size())
+            return false;
+        Stamped<T> &slot = ring_[std::size_t(t % ring_.size())];
+        slot.seq = t;
+        slot.value = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: dequeue the oldest message into @p out.
+     * @return false when the channel is empty.
+     */
+    bool
+    pop(Stamped<T> &out)
+    {
+        std::uint64_t h = head_.load(std::memory_order_relaxed);
+        std::uint64_t t = tail_.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        Stamped<T> &slot = ring_[std::size_t(h % ring_.size())];
+        panic_if(slot.seq != h,
+                 "spsc channel sequence gap (%llu != %llu)",
+                 (unsigned long long)slot.seq,
+                 (unsigned long long)h);
+        out = std::move(slot);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side view; racy from the producer thread. */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Messages ever pushed (producer-side view). */
+    std::uint64_t
+    pushed() const
+    {
+        return tail_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<Stamped<T>> ring_;
+    // Head and tail on separate cache lines so producer and consumer
+    // do not false-share.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+} // namespace minnow::parallel
+
+#endif // MINNOW_SIM_PARALLEL_SPSC_CHANNEL_HH

@@ -1,0 +1,41 @@
+#include "sim/parallel/task_farm.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace minnow::parallel
+{
+
+void
+runTaskFarm(std::size_t n, std::uint32_t threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::uint32_t workers = threads;
+    if (std::size_t(workers) > n)
+        workers = std::uint32_t(n);
+    std::atomic<std::size_t> next{0};
+    auto pump = [&] {
+        for (;;) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::uint32_t t = 1; t < workers; ++t)
+        pool.emplace_back(pump);
+    pump();
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace minnow::parallel

@@ -67,8 +67,8 @@ diagnosticJson(runtime::Machine &machine, const std::string &reason)
     appendEscaped(out, reason);
     out += "\",\"cycle\":" + std::to_string(m.eq.now());
     out += ",\"eventQueue\":{\"pending\":" +
-           std::to_string(m.eq.pending()) +
-           ",\"head\":" + std::to_string(m.eq.headTime()) + "}";
+           std::to_string(m.pendingTotal()) +
+           ",\"head\":" + std::to_string(m.nextEventTime()) + "}";
     out += ",\"monitor\":{\"pending\":" +
            std::to_string(m.monitor.pending()) +
            ",\"stealable\":" + std::to_string(m.monitor.stealable()) +
@@ -104,8 +104,8 @@ dumpDiagnostic(runtime::Machine &machine, const std::string &reason)
     std::fprintf(stderr,
                  "cycle %llu; event queue: %zu pending, head at"
                  " %llu\n",
-                 (unsigned long long)m.eq.now(), m.eq.pending(),
-                 (unsigned long long)m.eq.headTime());
+                 (unsigned long long)m.eq.now(), m.pendingTotal(),
+                 (unsigned long long)m.nextEventTime());
     std::fprintf(stderr,
                  "monitor: pending=%llu stealable=%llu"
                  " idleWorkers=%u terminated=%d\n",

@@ -1,0 +1,55 @@
+// Conforming twin of host_threading_bad.cc: must produce zero
+// findings. Exercises the rule's negative space — cross-thread work
+// expressed through the sim/parallel primitives, project types that
+// merely resemble banned names, and unqualified identifiers.
+
+#include <cstdint>
+#include <functional>
+
+namespace fixture
+{
+
+// The sanctioned shapes: a fork-join pool job plus an SPSC drain.
+// (Declarations stand in for sim/parallel includes so the fixture
+// lints standalone.)
+struct ShardPoolLike
+{
+    void runOnAll(const std::function<void(std::uint32_t)> &fn);
+};
+
+template <typename T>
+struct SpscChannelLike
+{
+    bool push(T v);
+    bool pop(T &out);
+};
+
+void
+fanOutSamples(ShardPoolLike &pool, SpscChannelLike<int> &ch)
+{
+    pool.runOnAll([&](std::uint32_t lane) { ch.push(int(lane)); });
+    int v;
+    while (ch.pop(v)) {
+    }
+}
+
+// Project types named like banned primitives, without std::
+// qualification, must not trip the ban list.
+struct barrier
+{
+    int phase = 0;
+};
+
+struct future
+{
+    int value = 0;
+};
+
+barrier epochBoundary;
+future pendingResult;
+
+// An identifier that merely starts with "atomic" but is not
+// std::-qualified is fine too.
+int atomicityBudget = 3;
+
+} // namespace fixture

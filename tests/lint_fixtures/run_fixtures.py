@@ -28,7 +28,7 @@ FIXDIR = os.path.relpath(HERE, ROOT)
 EXPECTED_RULES = {
     "determinism", "unordered-export", "coroutine-order",
     "stats-lifetime", "daemon-accounting", "trace-format",
-    "serializer-coverage",
+    "serializer-coverage", "host-threading",
     "stale-suppression", "bad-suppression",
 }
 

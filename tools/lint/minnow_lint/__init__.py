@@ -22,6 +22,11 @@ Rules (stable identifiers, used in LINT-OK suppressions):
                      daemon accounting API, never empty().
   trace-format       T1: DPRINTF/logging format strings must match
                      their argument counts.
+  serializer-coverage C1: every member of a checkpointed class must
+                     be serialized or declared transient.
+  host-threading     P1: std::thread/mutex/atomic and other host
+                     concurrency primitives only inside
+                     sim/parallel/.
 
 Meta findings: stale-suppression (a LINT-OK that suppressed nothing)
 and bad-suppression (unknown rule or missing reason).

@@ -13,6 +13,7 @@ from . import stats_lifetime
 from . import daemon_accounting
 from . import trace_format
 from . import serializer_coverage
+from . import host_threading
 
 ALL_RULES = [
     determinism,
@@ -22,6 +23,7 @@ ALL_RULES = [
     daemon_accounting,
     trace_format,
     serializer_coverage,
+    host_threading,
 ]
 
 RULE_IDS = [r.RULE_ID for r in ALL_RULES]
