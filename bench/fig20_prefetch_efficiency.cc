@@ -6,14 +6,42 @@
  * shape: near-100% at low credits, degrading for G500/CC/PR/BC as
  * aggressiveness grows; 32 credits give >99% everywhere; IMP is far
  * less efficient.
+ *
+ * The last three columns come from one extra --attribution run at
+ * 32 credits per workload: accuracy (fills used before eviction,
+ * per the provenance tracker), timeliness (timely share of the used
+ * fills — the rest were late, i.e. demanded while still in flight),
+ * and pollution (fills whose victim re-missed inside the window).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "credit_sweep.hh"
 
 using namespace minnow;
 using namespace minnow::bench;
+
+namespace
+{
+
+/** Pull one numeric stat out of the run's "attribution" group. */
+double
+attrStat(const std::string &json, const std::string &key)
+{
+    std::size_t base = json.find("\"attribution\":");
+    if (base == std::string::npos)
+        return 0.0;
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = json.find(needle, base);
+    return pos == std::string::npos
+               ? 0.0
+               : std::strtod(json.c_str() + pos + needle.size(),
+                             nullptr);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -32,6 +60,9 @@ main(int argc, char **argv)
     for (auto c : credits)
         header.push_back(std::to_string(c));
     header.push_back("imp");
+    header.push_back("acc%@32");
+    header.push_back("timely%@32");
+    header.push_back("pollut%@32");
     table.header(header);
     for (const std::string &name : args.workloads) {
         CreditSweep s = sweepCredits(name, args, credits);
@@ -56,6 +87,29 @@ main(int argc, char **argv)
                                        double(fills),
                                    1)
                   : "-");
+        // Attribution columns: the paper-point credit count (32)
+        // re-run with the provenance tracker on.
+        harness::Workload wa =
+            harness::makeWorkload(name, args.scale, args.seed);
+        BenchArgs attrArgs = args;
+        attrArgs.machine.minnow.prefetchCredits = 32;
+        attrArgs.machine.attribution = true;
+        auto ar = run(wa, harness::Config::MinnowPf, args.threads,
+                      attrArgs);
+        const std::string &aj = ar.run.statsJson;
+        double afills = attrStat(aj, "fills");
+        double timely = attrStat(aj, "timely");
+        double late = attrStat(aj, "late");
+        double used = timely + late;
+        row.push_back(
+            afills ? TextTable::num(100.0 * used / afills, 1)
+                   : "-");
+        row.push_back(
+            used > 0 ? TextTable::num(100.0 * timely / used, 1)
+                     : "-");
+        row.push_back(
+            afills ? TextTable::num(attrStat(aj, "pollutionPct"), 2)
+                   : "-");
         table.row(row);
     }
     table.print();

@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""The "why is this slow" report (--attribution joins).
+
+Joins a --stats-json document (minnow-bench-stats-1) with an
+optional --timeline trace (Chrome trace_event JSON) and renders the
+causal-attribution picture per run:
+
+  * prefetch class mix — timely / late / early-evicted / polluting
+    as shares of fills, plus redundant issues that never filled;
+  * coverage — how many demand misses on prefetched lines were
+    absorbed (timely + late) and the stall cycles the late ones
+    still covered;
+  * pollution — fills whose victim demand-missed inside the window,
+    and re-misses to early-evicted lines;
+  * timeliness — issue->fill / fill->use / issue->use percentiles;
+  * lineage — ids assigned vs drained, fan-out, and the per-task
+    critical-path split (push->enqueue->dequeue->first miss);
+  * trace join — push->pop flow arrows with how many cross cores
+    (work migration) when a trace file is given;
+  * a verdict — the dominant reason the run is slow, derived from
+    the shares above.
+
+Usage:
+  attribution_report.py STATS.json [TRACE.json]
+  attribution_report.py --compare A.json B.json
+
+--compare prints the key attribution metrics of two stats documents
+side by side with B-A deltas — the quick way to see what a knob
+change (credits, batching, window) did to prefetch quality.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"attribution_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def attr_runs(doc, path):
+    if doc.get("schema") != "minnow-bench-stats-1":
+        fail(f"{path}: schema != minnow-bench-stats-1")
+    out = []
+    for run in doc.get("runs", []):
+        group = (
+            run.get("stats", {}).get("groups", {}).get("attribution")
+        )
+        if group is not None:
+            out.append((run, group))
+    if not out:
+        fail(
+            f"{path}: no run carries an attribution group "
+            "(was the sweep run with --attribution?)"
+        )
+    return out
+
+
+def pct(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+def flow_stats(path):
+    """Count lineage arrows (and core-crossers) in a trace."""
+    doc = load(path)
+    legs = {}
+    for e in doc.get("traceEvents", []):
+        if e.get("ph") in ("s", "f") and e.get("name") == "lineage":
+            legs.setdefault(e.get("id"), {})[e["ph"]] = (
+                e.get("pid"),
+                e.get("tid"),
+            )
+    arrows = cross = 0
+    for pair in legs.values():
+        if "s" in pair and "f" in pair:
+            arrows += 1
+            if pair["s"] != pair["f"]:
+                cross += 1
+    return arrows, cross
+
+
+def verdict(g):
+    """One-line diagnosis from the attribution shares."""
+    fills = g["fills"]
+    issues = fills + g["redundant"]
+    reasons = []
+    if g["coveredPct"] < 50:
+        reasons.append(
+            "low coverage: most demand misses were never prefetched"
+            " — widen the prefetch window or raise credits"
+        )
+    if pct(g["late"], fills) > 40:
+        reasons.append(
+            "prefetches are late: issue earlier (deeper worklist"
+            " lookahead) or cut fill latency"
+        )
+    if pct(g["earlyEvicted"], fills) > 25:
+        reasons.append(
+            "prefetches evicted before use: fewer credits or a"
+            " bigger L2 would hold lines longer"
+        )
+    if g["pollutionPct"] > 5:
+        reasons.append(
+            "prefetch pollution: fills displace live lines that"
+            " re-miss — throttle credits"
+        )
+    if pct(g["redundant"], issues) > 60:
+        reasons.append(
+            "mostly redundant issues: the engine re-requests lines"
+            " already cached — prefetch is saturated, not useful"
+        )
+    if g.get("enqueueToDequeueP95", 0) > 10 * max(
+        1, g.get("dequeueToFirstMissP95", 0)
+    ):
+        reasons.append(
+            "tasks wait in the queue far longer than they run —"
+            " scheduling latency, not memory, bounds this run"
+        )
+    if not reasons:
+        reasons.append(
+            "prefetching is healthy: misses are covered and the"
+            " queue is not the bottleneck"
+        )
+    return reasons
+
+
+def print_run(run, g, trace):
+    tag = (
+        f"{run.get('workload', '?')}/{run.get('config', '?')}"
+        f" credits={run.get('credits', '?')}"
+        f" cycles={run.get('cycles', '?')}"
+    )
+    print(f"== {tag} ==")
+    fills = g["fills"]
+    issues = fills + g["redundant"]
+    print(f"{'class':<16}{'count':>10}{'share':>9}")
+    for cls in ("timely", "late", "earlyEvicted", "polluting"):
+        print(
+            f"{cls:<16}{g[cls]:>10.0f}"
+            f"{pct(g[cls], fills):>8.1f}%"
+        )
+    print(
+        f"{'redundant':<16}{g['redundant']:>10.0f}"
+        f"{pct(g['redundant'], issues):>8.1f}%  (of issues)"
+    )
+    print(
+        f"coverage: {g['coveredPct']:.1f}% of demand misses on"
+        f" prefetched lines ({g['timely']:.0f} timely +"
+        f" {g['late']:.0f} late vs {g['missAfterEvict']:.0f}"
+        " re-missed after eviction)"
+    )
+    if g["late"]:
+        print(
+            f"late fills still covered {g['stallCyclesCovered']:.0f}"
+            f" stall cycles ({g['stallCyclesCovered'] / g['late']:.0f}"
+            " per late prefetch)"
+        )
+    print(
+        f"pollution: {g['pollutionPct']:.2f}% of fills displaced a"
+        " line that re-missed in the window"
+    )
+    print(
+        f"{'histogram':<20}{'P50':>8}{'P95':>8}{'P99':>8}"
+    )
+    for h in (
+        "issueToFill",
+        "fillToUse",
+        "issueToUse",
+        "pushToEnqueue",
+        "enqueueToDequeue",
+        "dequeueToFirstMiss",
+    ):
+        print(
+            f"{h:<20}{g.get(h + 'P50', 0):>8.0f}"
+            f"{g.get(h + 'P95', 0):>8.0f}{g.get(h + 'P99', 0):>8.0f}"
+        )
+    print(
+        f"lineage: {g['lineageAssigned']:.0f} pushed,"
+        f" {g['lineageDequeued']:.0f} popped,"
+        f" {g['lineageLive']:.0f} live at exit,"
+        f" fan-out {g['lineageFanout']:.2f}"
+    )
+    if trace:
+        arrows, cross = trace
+        print(
+            f"trace join: {arrows} push->pop lineage arrows,"
+            f" {cross} cross cores ({pct(cross, arrows):.1f}%"
+            " work migration)"
+        )
+    print("why is this slow:")
+    for reason in verdict(g):
+        print(f"  - {reason}")
+    print()
+
+
+COMPARE_KEYS = [
+    ("timely", "{:.0f}"),
+    ("late", "{:.0f}"),
+    ("earlyEvicted", "{:.0f}"),
+    ("redundant", "{:.0f}"),
+    ("polluting", "{:.0f}"),
+    ("fills", "{:.0f}"),
+    ("coveredPct", "{:.1f}"),
+    ("pollutionPct", "{:.2f}"),
+    ("stallCyclesCovered", "{:.0f}"),
+    ("issueToUseP95", "{:.0f}"),
+    ("enqueueToDequeueP95", "{:.0f}"),
+    ("dequeueToFirstMissP95", "{:.0f}"),
+    ("lineageAssigned", "{:.0f}"),
+    ("lineageFanout", "{:.2f}"),
+]
+
+
+def compare(path_a, path_b):
+    runs_a = attr_runs(load(path_a), path_a)
+    runs_b = attr_runs(load(path_b), path_b)
+
+    def key(entry):
+        run = entry[0]
+        return (run.get("workload"), run.get("config"),
+                run.get("credits"))
+
+    by_a = {key(e): e for e in runs_a}
+    by_b = {key(e): e for e in runs_b}
+    shared = [k for k in by_a if k in by_b]
+    if not shared:
+        fail("no (workload, config, credits) point in both files")
+    print(f"A = {path_a}")
+    print(f"B = {path_b}")
+    for k in shared:
+        ga, gb = by_a[k][1], by_b[k][1]
+        print(f"== {k[0]}/{k[1]} credits={k[2]} ==")
+        print(f"{'metric':<22}{'A':>12}{'B':>12}{'B-A':>12}")
+        for name, fmt in COMPARE_KEYS:
+            va, vb = ga.get(name, 0), gb.get(name, 0)
+            print(
+                f"{name:<22}{fmt.format(va):>12}"
+                f"{fmt.format(vb):>12}{fmt.format(vb - va):>12}"
+            )
+        print()
+
+
+def main():
+    args = sys.argv[1:]
+    if len(args) == 3 and args[0] == "--compare":
+        compare(args[1], args[2])
+        return
+    if len(args) not in (1, 2):
+        fail(
+            "usage: attribution_report.py STATS.json [TRACE.json]"
+            " | --compare A.json B.json"
+        )
+    trace = flow_stats(args[1]) if len(args) == 2 else None
+    for run, group in attr_runs(load(args[0]), args[0]):
+        print_run(run, group, trace)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        sys.exit(0)
+
+

@@ -34,10 +34,22 @@ Two measurements, both from binaries built in this tree:
     resumed sweep must deliver its first figure point >= 2x faster
     than the cold run.
 
+ 6. the causal-attribution layer (--attribution, DESIGN.md section
+    5k): wall time of the same point_runner point with attribution
+    off (twice, to measure host noise) and on. With the knob off no
+    tracker exists (every emit site is a null pointer check), so
+    the off runs bound the noise floor; with it on the run must
+    stay under a 15% slowdown (or twice the measured off-run noise
+    if the host is noisier than that). The smoke point runs ~60 ms,
+    where scheduler jitter alone is several percent, so the smoke
+    ceiling floor is 1.25x (min-of-3 walls; the full run keeps the
+    strict 1.15x contract recorded in BENCH_simspeed.json).
+
 --smoke runs a smaller workload point and only enforces a
 conservative >= 1.05x micro speedup (wired into ctest so sim-speed
 regressions fail loudly without flaking on noisy CI hosts); the 2x
-checkpoint-resume floor applies in both modes.
+checkpoint-resume floor and the attribution overhead ceiling apply
+in both modes.
 
 Usage:
   bench_simspeed.py [--build-dir DIR] [--micro PATH] [--fig PATH]
@@ -330,6 +342,55 @@ def run_checkpoint(runner):
     }
 
 
+def run_attribution(runner, smoke):
+    """Measure the --attribution overhead against an off baseline."""
+    scale = "0.2" if smoke else "1.0"
+    point = ["--workload=sssp", "--config=minnow-pf",
+             "--threads=8", "--cores=8", f"--scale={scale}",
+             "--seed=42"]
+
+    # Smoke points run ~60 ms, where scheduler jitter alone is a
+    # few percent of the wall time; min-of-N keeps the ratio about
+    # the simulator instead of the host.
+    reps = 3 if smoke else 2
+
+    def point_run(extra):
+        best = None
+        for _ in range(reps):
+            wall, proc = timed_run([runner] + point + extra)
+            if proc.returncode != 0:
+                fail(f"point_runner exited {proc.returncode}:"
+                     f"\n{proc.stdout}\n{proc.stderr}")
+            best = wall if best is None else min(best, wall)
+        return best
+
+    # Two off measurements bound the host noise; with the knob off
+    # the tracker does not exist, so any spread between them is
+    # pure host jitter, not attribution cost.
+    off_a = point_run([])
+    off_b = point_run([])
+    on_wall = point_run(["--attribution"])
+    off_wall = min(off_a, off_b)
+    noise = abs(off_a - off_b) / off_wall if off_wall else 0.0
+    floor = 1.25 if smoke else 1.15
+    ceiling = max(floor, 1.0 + 2.0 * noise)
+    overhead = on_wall / off_wall if off_wall else 1.0
+    if overhead > ceiling:
+        fail(f"--attribution overhead {overhead:.2f}x exceeds the "
+             f"{ceiling:.2f}x ceiling (off {off_wall:.2f}s twice "
+             f"within {noise * 100:.1f}%, on {on_wall:.2f}s)")
+    return {
+        "runner": os.path.basename(runner),
+        "point": " ".join(point),
+        "offSecondsA": off_a,
+        "offSecondsB": off_b,
+        "offNoise": noise,
+        "onSeconds": on_wall,
+        "overhead": overhead,
+        "ceiling": ceiling,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default=None)
@@ -359,6 +420,7 @@ def main():
     offload_res = run_offload(offload, args.smoke)
     shards_res = run_shards(fig, args.smoke)
     ckpt_res = run_checkpoint(runner)
+    attr_res = run_attribution(runner, args.smoke)
 
     bar = args.min_speedup
     if bar is None:
@@ -376,6 +438,7 @@ def main():
         "offload": offload_res,
         "shards": shards_res,
         "checkpoint": ckpt_res,
+        "attribution": attr_res,
         "minSpeedup": bar,
     }
     with open(args.out, "w") as f:
@@ -400,6 +463,8 @@ def main():
           f" | ckpt cold {ckpt_res['coldSeconds']:.3f}s, resume "
           f"{ckpt_res['resumeSeconds']:.3f}s"
           f" ({ckpt_res['resumeSpeedup']:.1f}x)"
+          f" | attribution {attr_res['overhead']:.2f}x"
+          f" (ceiling {attr_res['ceiling']:.2f}x)"
           f" | wrote {args.out}")
 
     if micro_res["speedup"] < bar:

@@ -8,10 +8,13 @@ entry must carry its identifying parameters plus a full
 expose the acceptance metrics (per-core L2 MPKI, prefetch
 coverage/accuracy, credit-stall counters).
 
-The sweep runs with --host-profile=true and --timeline, so the
-snapshot must also carry the observability groups: "hostprof" (host
-wall-clock attribution) and "timeline" (event counts plus the
-pop-wait/dequeue/execute/push latency percentiles), all numeric and
+The sweep runs with --host-profile=true, --timeline and
+--attribution, so the snapshot must also carry the observability
+groups: "hostprof" (host wall-clock attribution), "timeline" (event
+counts plus the pop-wait/dequeue/execute/push latency percentiles),
+and "attribution" (the five prefetch lifecycle classes, the derived
+coverage and pollution rates, lineage conservation counters, and the
+six latency histograms with P50/P95/P99), all numeric and
 non-negative.
 
 Usage: check_stats_json.py <path-to-fig18-binary>
@@ -109,6 +112,36 @@ def check_minnow_pf_groups(groups, i):
             fail(f"runs[{i}]: group {g} lacks creditStalls")
 
 
+def check_attribution_group(groups, i):
+    """The --attribution group (prefetch provenance + lineage)."""
+    g = groups.get("attribution")
+    if g is None:
+        fail(f"runs[{i}]: no attribution group")
+    for cls in ("timely", "late", "earlyEvicted", "redundant",
+                "polluting"):
+        if not isinstance(g.get(cls), (int, float)):
+            fail(f"runs[{i}]: attribution lacks class '{cls}'")
+    for key in ("fills", "stallCyclesCovered", "missAfterEvict",
+                "demandMisses", "coveredPct", "pollutionPct",
+                "lineageAssigned", "lineageDequeued", "lineageLive",
+                "lineageFanout"):
+        if key not in g:
+            fail(f"runs[{i}]: attribution lacks '{key}'")
+    if not (0 <= g["coveredPct"] <= 100):
+        fail(f"runs[{i}]: coveredPct out of range")
+    if g["lineageLive"] != 0:
+        fail(f"runs[{i}]: lineage leak ({g['lineageLive']} live)")
+    for hist in ("issueToFill", "fillToUse", "issueToUse",
+                 "pushToEnqueue", "enqueueToDequeue",
+                 "dequeueToFirstMiss"):
+        h = g.get(hist)
+        if not isinstance(h, dict) or h.get("type") != "histogram":
+            fail(f"runs[{i}]: attribution lacks histogram {hist}")
+        for pct in ("P50", "P95", "P99"):
+            if f"{hist}{pct}" not in g:
+                fail(f"runs[{i}]: attribution lacks {hist}{pct}")
+
+
 def check_observability_groups(groups, i):
     """The --host-profile / --timeline groups (PR 4)."""
     for gname in ("hostprof", "timeline"):
@@ -154,6 +187,7 @@ def main():
             "--cores=4",
             "--credits-list=4",
             "--host-profile=true",
+            "--attribution",
             f"--timeline={trace}",
             f"--stats-json={out}",
         ]
@@ -184,6 +218,7 @@ def main():
             saw_pf = True
             check_minnow_pf_groups(groups, i)
             check_observability_groups(groups, i)
+            check_attribution_group(groups, i)
     if not saw_pf:
         fail("no minnow-pf run in the sweep output")
 

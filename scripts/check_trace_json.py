@@ -15,6 +15,13 @@ emitted Chrome trace_event JSON ("minnow-timeline-1"):
   * the trace contains the load-bearing content: task spans on a core
     track, threadlet lifetime spans, and at least one credit counter
     track;
+  * flow events ("s"/"t"/"f") form complete arrows: every flow id
+    opens with exactly one start, closes with exactly one end
+    (carrying "bp": "e"), keeps one name across its legs, and its
+    timestamps are monotonically non-decreasing — no dangling
+    starts, no orphan steps;
+  * a third run with --attribution contains both prefetch and
+    lineage flow arrows (the causal-attribution layer);
   * two runs with the same seed produce byte-identical files
     (determinism contract).
 
@@ -35,7 +42,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def run_bench(bench, trace_path):
+def run_bench(bench, trace_path, extra=()):
     cmd = [
         bench,
         "--workloads=sssp",
@@ -43,7 +50,7 @@ def run_bench(bench, trace_path):
         "--threads=4",
         "--cores=4",
         f"--timeline={trace_path}",
-    ]
+    ] + list(extra)
     proc = subprocess.run(
         cmd, capture_output=True, text=True, timeout=600
     )
@@ -84,6 +91,7 @@ def check_events(events):
     saw_task_begin = False
     saw_threadlet = False
     credit_tracks = set()
+    flows = {}
 
     for i, e in enumerate(events):
         ph = e.get("ph")
@@ -120,6 +128,15 @@ def check_events(events):
                 fail(f"event {i}: counter without numeric value")
             if e.get("name", "").endswith(".credits"):
                 credit_tracks.add(key)
+        elif ph in ("s", "t", "f"):
+            fid = e.get("id")
+            if not isinstance(fid, int):
+                fail(f"event {i}: flow leg without integer id")
+            if ph == "f" and e.get("bp") != "e":
+                fail(f"event {i}: flow end without bp=e binding")
+            flows.setdefault(fid, []).append(
+                (ts, ph, e.get("name"), i)
+            )
         else:
             fail(f"event {i}: unknown phase {ph!r}")
 
@@ -136,6 +153,26 @@ def check_events(events):
     if not credit_tracks:
         fail("no *.credits counter track in the trace")
 
+    flow_names = set()
+    for fid, legs in flows.items():
+        phases = [ph for _, ph, _, _ in legs]
+        if phases[0] != "s":
+            fail(f"flow {fid}: first leg is {phases[0]!r}, not 's'")
+        if phases[-1] != "f":
+            fail(f"flow {fid}: dangling start (no 'f' leg)")
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            fail(f"flow {fid}: unbalanced s/f legs {phases}")
+        if any(ph != "t" for ph in phases[1:-1]):
+            fail(f"flow {fid}: non-step leg in the middle {phases}")
+        names = {name for _, _, name, _ in legs}
+        if len(names) != 1:
+            fail(f"flow {fid}: mixed names {sorted(names)}")
+        ts_list = [ts for ts, _, _, _ in legs]
+        if ts_list != sorted(ts_list):
+            fail(f"flow {fid}: non-monotonic timestamps {ts_list}")
+        flow_names.add(names.pop())
+    return flow_names
+
 
 def main():
     if len(sys.argv) != 2:
@@ -145,6 +182,7 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         a = os.path.join(tmp, "a.json")
         b = os.path.join(tmp, "b.json")
+        attr = os.path.join(tmp, "attr.json")
         run_bench(bench, a)
         run_bench(bench, b)
         if not filecmp.cmp(a, b, shallow=False):
@@ -152,7 +190,20 @@ def main():
         events = check_document(load(a))
         check_events(events)
 
-    print(f"check_trace_json: OK ({len(events)} events validated)")
+        run_bench(bench, attr, ["--attribution"])
+        attr_events = check_document(load(attr))
+        flow_names = check_events(attr_events)
+        for name in ("prefetch", "lineage"):
+            if name not in flow_names:
+                fail(
+                    f"--attribution trace has no '{name}' flow "
+                    f"arrows (saw {sorted(flow_names)})"
+                )
+
+    print(
+        f"check_trace_json: OK ({len(events)} events, "
+        f"{len(attr_events)} with attribution flows validated)"
+    )
 
 
 if __name__ == "__main__":

@@ -183,6 +183,38 @@ capacity), which costs Minnow work-distribution efficiency on the
 burst-synchronous g500.
 """
 
+# Hand-written subsections appended AFTER a section's measured
+# block (extra context that is not a paper figure of its own).
+POST = {}
+
+POST["fig16_overall_speedup"] = """\
+### Offload round-trip breakdown (beyond the paper)
+
+The fixed per-dequeue round-trip (doorbell + delivery hop, 10 cycles
+each way) is a real tax at our scale; `bench/offload_breakdown`
+splits it per engine call and sweeps `--dequeue-batch` (sssp,
+scale 0.1, 4 threads/cores, seed 42 — the sweep recorded in
+`BENCH_simspeed.json` and gated in ctest):
+
+```
+k  cycles  engine-calls  doorbell/call  wait/call  popWaitP95
+1  182128  4314          10.0           44.9       127
+2  164105  2500          10.0           66.0       127
+4  163882  1873          10.0           74.3        63
+8  164441  1580          10.0           69.3        63
+```
+
+Bundling amortizes the fixed legs over up to k tasks: k=4 cuts
+engine calls 2.3x, shifts the worker popWait P95 from 127 to 63
+cycles, and takes ~10% off the makespan; beyond k=4 the bundle
+starts draining the local queue faster than the fill daemon refills
+it (wait/call grows), so returns flatten. `--spec-slot` removes the
+round-trip entirely on hits and composes with bundling; defaults
+(k=1, no slot) remain bit-identical to the pre-knob engine
+(`MinnowInt.ExplicitDefaultKnobsMatchDefaultsBitForBit`).
+"""
+
+
 PROSE["fig17_imp_comparison"] = """\
 ## Fig. 17 — vs stride and IMP
 
@@ -249,6 +281,18 @@ superseded-task and pair-enumeration access patterns defeat our
 staleness predicate more often), and on g500 IMP is *more*
 efficient than worklist direction (it only triggers on the hub's
 long streams, which are always useful).
+
+The last three columns re-run the 32-credit point with
+`--attribution` (DESIGN.md §5k) and decompose *why* efficiency is
+what it is: `acc%@32` is the provenance tracker's
+used-before-evict share (it independently reproduces the `32`
+column — same quantity, measured per line instead of per counter);
+`timely%@32` splits the used fills into timely vs late (sssp's low
+timely share is the paper's §6.3.2 caveat — its prefetcher cannot
+run far enough ahead, so a large minority of useful prefetches
+arrive while the demand is already stalled); `pollut%@32` shows
+displaced-victim re-misses are negligible at the paper's credit
+point — the throttle, not luck, keeps pollution near zero.
 """
 
 PROSE["fig21_membw_sweep"] = """\
@@ -446,8 +490,10 @@ DESIGN.md §5j); both are byte-identical to serial runs
         out.append("```")
         out.append(body)
         out.append("```\n")
+        if name in POST:
+            out.append(POST[name].rstrip() + "\n")
 
-    out.append(EPILOGUE.rstrip() + "\n")
+    out.append(EPILOGUE.rstrip())
 
     open("EXPERIMENTS.md", "w").write("\n".join(out) + "\n")
     print("wrote EXPERIMENTS.md,", len(sections), "sections")

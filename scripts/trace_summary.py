@@ -4,7 +4,10 @@
 Rebuilds span durations from the B/E stream (per-(pid, tid) stacks,
 so nested spans attribute correctly), aggregates them by span name,
 and prints count / total cycles / mean / p50 / p95 / p99 per name,
-plus instant-event counts and the ranges of every counter track.
+plus instant-event counts, flow-arrow aggregates (the --attribution
+push->pop lineage and prefetch issue->fill->use arrows, with
+latency percentiles, how many cross tracks, and a few example
+arrows), and the ranges of every counter track.
 Percentiles here are exact (computed from the individual durations),
 unlike the bucketed approximations in the "timeline" stats group.
 
@@ -40,14 +43,20 @@ def load_events(path):
 
 
 def summarize(events):
-    """Return (spans, instants, counters) aggregates."""
+    """Return (spans, instants, counters, flows) aggregates."""
     stacks = {}
     spans = {}  # name -> list of durations.
     instants = {}  # name -> count.
     counters = {}  # name -> [min, max, samples].
+    flow_legs = {}  # id -> list of (ts, ph, name, key).
     for e in events:
         ph = e.get("ph")
         key = (e.get("pid"), e.get("tid"))
+        if ph in ("s", "t", "f"):
+            flow_legs.setdefault(e.get("id"), []).append(
+                (e.get("ts", 0), ph, e.get("name", "?"), key)
+            )
+            continue
         if ph == "B":
             stacks.setdefault(key, []).append(e)
         elif ph == "E":
@@ -69,7 +78,24 @@ def summarize(events):
     for key, st in stacks.items():
         if st:
             fail(f"{len(st)} unterminated spans on track {key}")
-    return spans, instants, counters
+    # name -> {"lat": [..], "cross": n, "examples": [(s, f), ..]}.
+    flows = {}
+    for legs in flow_legs.values():
+        start = next((l for l in legs if l[1] == "s"), None)
+        end = next((l for l in legs if l[1] == "f"), None)
+        if start is None or end is None:
+            continue
+        f = flows.setdefault(
+            start[2], {"lat": [], "cross": 0, "examples": []}
+        )
+        f["lat"].append(end[0] - start[0])
+        if start[3] != end[3]:
+            f["cross"] += 1
+            if len(f["examples"]) < 3:
+                f["examples"].append((start, end))
+        elif not f["examples"]:
+            f["examples"].append((start, end))
+    return spans, instants, counters, flows
 
 
 def percentile(sorted_vals, frac):
@@ -96,7 +122,7 @@ def span_rows(spans):
     return rows
 
 
-def print_summary(path, doc, spans, instants, counters):
+def print_summary(path, doc, spans, instants, counters, flows):
     other = doc.get("otherData", {})
     print(f"== {path} ==")
     print(
@@ -119,6 +145,27 @@ def print_summary(path, doc, spans, instants, counters):
         print("instants:")
         for name in sorted(instants):
             print(f"  {name:<22}{instants[name]:>8}")
+    if flows:
+        print("flows (causal arrows, --attribution):")
+        print(
+            f"  {'name':<12}{'count':>8}{'mean':>10}{'p50':>8}"
+            f"{'p95':>8}{'cross-track':>12}"
+        )
+        for name in sorted(flows):
+            f = flows[name]
+            lat = sorted(f["lat"])
+            mean = sum(lat) / len(lat) if lat else 0.0
+            print(
+                f"  {name:<12}{len(lat):>8}{mean:>10.1f}"
+                f"{percentile(lat, 0.50):>8}"
+                f"{percentile(lat, 0.95):>8}{f['cross']:>12}"
+            )
+        for name in sorted(flows):
+            for start, end in flows[name]["examples"]:
+                print(
+                    f"  {name}: track{start[3]}@{start[0]} -> "
+                    f"track{end[3]}@{end[0]}"
+                )
     if counters:
         print("counters (min..max over samples):")
         for name in sorted(counters):
@@ -169,8 +216,8 @@ def main():
             "--compare A.json B.json"
         )
     doc, events = load_events(args[0])
-    spans, instants, counters = summarize(events)
-    print_summary(args[0], doc, spans, instants, counters)
+    spans, instants, counters, flows = summarize(events)
+    print_summary(args[0], doc, spans, instants, counters, flows)
 
 
 if __name__ == "__main__":

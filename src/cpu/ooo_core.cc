@@ -359,7 +359,7 @@ OooCore::branch(BranchKind kind, Cycle dep)
 
 void
 OooCore::specDeposit(std::uint64_t seq, std::int64_t priority,
-                     std::uint64_t payload)
+                     std::uint64_t payload, std::uint64_t lineage)
 {
     panic_if(specSlot_.valid,
              "core %u: spec-slot double deposit (seq %llu over %llu)",
@@ -369,6 +369,7 @@ OooCore::specDeposit(std::uint64_t seq, std::int64_t priority,
     specSlot_.seq = seq;
     specSlot_.priority = priority;
     specSlot_.payload = payload;
+    specSlot_.lineage = lineage;
 }
 
 } // namespace minnow::cpu

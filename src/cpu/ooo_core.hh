@@ -174,6 +174,7 @@ struct SpecTaskSlot
     std::uint64_t seq = 0;
     std::int64_t priority = 0;
     std::uint64_t payload = 0;
+    std::uint64_t lineage = 0; //!< attribution id (0 = untracked).
 
     // Per-member: the bool is followed by padding, which must not
     // leak into a checkpoint stream.
@@ -184,6 +185,7 @@ struct SpecTaskSlot
         ck.io(seq);
         ck.io(priority);
         ck.io(payload);
+        ck.io(lineage);
     }
 };
 
@@ -254,7 +256,7 @@ class OooCore
      * deposit outstanding per core.
      */
     void specDeposit(std::uint64_t seq, std::int64_t priority,
-                     std::uint64_t payload);
+                     std::uint64_t payload, std::uint64_t lineage);
 
     /** Drop any deposited task (rescue/kill reclaim path). */
     void specInvalidate() { specSlot_.valid = false; }

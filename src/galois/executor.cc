@@ -48,6 +48,10 @@ workerLoop(SimContext &ctx, worklist::Worklist &wl, apps::App &app,
             Cycle now = ctx.eq().now();
             wstats.popLatency->sample(now - popStart);
             ++*wstats.pops;
+            if (mem::Attribution *attr =
+                    ctx.machine().attribution.get()) {
+                attr->taskDequeued(ctx.id(), item.lineage, now);
+            }
             if (tl) {
                 tl->span(taskTrack, timeline::Name::Dequeue,
                          popStart, now);

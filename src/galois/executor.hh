@@ -128,8 +128,14 @@ class WorklistSink : public apps::TaskSink
     put(runtime::SimContext &ctx, worklist::WorkItem item) override
     {
         timeline::Timeline *tl = ctx.machine().timeline.get();
+        mem::Attribution *attr = ctx.machine().attribution.get();
         Cycle pushStart = ctx.machine().eq.now();
+        if (attr)
+            item.lineage = attr->pushTask(ctx.id(), pushStart);
         co_await wl_->push(ctx, item);
+        if (attr)
+            attr->taskEnqueued(item.lineage,
+                               ctx.machine().eq.now());
         if (tl) {
             Cycle now = ctx.machine().eq.now();
             tl->span(tl->coreTaskTrack(ctx.id()),

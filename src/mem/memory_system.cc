@@ -5,6 +5,7 @@
 #include "base/bits.hh"
 #include "base/logging.hh"
 #include "base/trace.hh"
+#include "mem/attribution.hh"
 #include "sim/fault.hh"
 #include "sim/hostprof.hh"
 
@@ -70,6 +71,8 @@ MemorySystem::invalidatePrivate(CoreId core, Addr lnum)
     if (line) {
         if (line->prefetch) {
             stats_[core].prefetchInvalidated += 1;
+            if (attr_)
+                attr_->prefetchEvicted(core, lnum);
             if (!line->prefetchHw) {
                 if (pfLinesTracked_)
                     --pfLinesTracked_;
@@ -96,6 +99,8 @@ MemorySystem::handleL2Eviction(CoreId core, const Eviction &ev)
     l1_[core].invalidate(ev.lineNum);
     if (ev.prefetch) {
         stats_[core].prefetchEvictedUnused += 1;
+        if (attr_)
+            attr_->prefetchEvicted(core, ev.lineNum);
         if (!ev.prefetchHw) {
             if (pfLinesTracked_)
                 --pfLinesTracked_;
@@ -198,7 +203,9 @@ MemorySystem::access(const MemAccess &req)
     CacheLine *l2line = l2_[req.core].lookup(lnum);
     if (l2line && (!isWrite || l2line->exclusive)) {
         Cycle done = t + cfg_.l2.latency;
-        if (l2line->readyAt > done) {
+        const Cycle demandAt = done;
+        const bool underFill = l2line->readyAt > done;
+        if (underFill) {
             // Fill still in flight (late prefetch): wait for it.
             done = l2line->readyAt;
             st.l2HitsUnderFill += 1;
@@ -211,14 +218,21 @@ MemorySystem::access(const MemAccess &req)
             l2line->prefetchHw = false;
             st.prefetchUsed += 1;
             res.hitPrefetched = true;
+            if (attr_) {
+                attr_->prefetchDemandUse(req.core, lnum, demandAt,
+                                         underFill);
+            }
             if (!hw) {
                 if (pfLinesTracked_)
                     --pfLinesTracked_;
                 if (creditHook_)
                     creditHook_(req.core, true);
             }
-        } else if (l2line->prefetch && req.prefetch) {
-            st.prefetchRedundant += 1;
+        } else if (req.prefetch) {
+            if (l2line->prefetch)
+                st.prefetchRedundant += 1;
+            if (attr_)
+                attr_->prefetchRedundant(req.core);
         }
         if (isWrite)
             l2line->dirty = true;
@@ -251,8 +265,11 @@ MemorySystem::access(const MemAccess &req)
             (unsigned long long)req.addr,
             req.engine ? " (engine)" : "",
             req.prefetch ? " (prefetch)" : "");
-    if (!req.engine && !req.prefetch)
+    if (!req.engine && !req.prefetch) {
         st.l2DemandMisses += 1;
+        if (attr_)
+            attr_->demandMiss(req.core, lnum, req.when);
+    }
     t += cfg_.l2.latency;
 
     const std::uint32_t bank = bankOf(lnum);
@@ -361,6 +378,12 @@ MemorySystem::access(const MemAccess &req)
         res.prefetchFilled = true;
         if (!req.hwPrefetch)
             ++pfLinesTracked_;
+        if (attr_) {
+            if (ev.valid)
+                attr_->fillVictim(req.core, ev.lineNum, done);
+            attr_->prefetchFilled(req.core, lnum, req.when, done,
+                                  req.lineage, req.hwPrefetch);
+        }
     } else if (!req.engine) {
         Eviction ev1;
         CacheLine *fill1 = l1_[req.core].fill(lnum, false, ev1);
@@ -392,6 +415,8 @@ MemorySystem::runHwPrefetcher(const MemAccess &req, Cycle when)
         Addr lnum = lineNum(target);
         if (l2_[req.core].probe(lnum)) {
             stats_[req.core].prefetchRedundant += 1;
+            if (attr_)
+                attr_->prefetchRedundant(req.core);
             continue;
         }
         // Injected fault: the prefetch request is lost in flight.
@@ -681,8 +706,8 @@ MemorySystem::checkpoint(ckpt::Ckpt &ck)
     dram_.checkpoint(ck);
     ck.io(stats_);
     ck.io(pfLinesTracked_);
-    ck.transient("cfg_ creditHook_ faults_ hwPrefetchers_ oracle_"
-                 " pfScratch_ inPrefetchIssue_ statsReg_");
+    ck.transient("cfg_ creditHook_ attr_ faults_ hwPrefetchers_"
+                 " oracle_ pfScratch_ inPrefetchIssue_ statsReg_");
 }
 
 bool

@@ -45,6 +45,8 @@ class FaultInjector;
 namespace minnow::mem
 {
 
+class Attribution;
+
 /** Kind of memory operation. */
 enum class AccessType
 {
@@ -68,6 +70,9 @@ struct MemAccess
     bool engine = false;       //!< from a Minnow engine (skip L1).
     bool prefetch = false;     //!< mark the L2 fill as a prefetch.
     bool hwPrefetch = false;   //!< HW prefetcher fill (no credits).
+
+    /** Trigger-task lineage id (--attribution; 0 = untracked). */
+    std::uint64_t lineage = 0;
 };
 
 /** Where an access was satisfied. */
@@ -156,6 +161,13 @@ class MemorySystem
      * drops hardware prefetch issues per drop_prefetch clauses.
      */
     void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    /**
+     * Attach the causal-attribution tracker (nullptr detaches).
+     * When set, every prefetch fill/use/eviction and demand miss is
+     * reported for lifecycle classification (--attribution).
+     */
+    void setAttribution(Attribution *attr) { attr_ = attr; }
 
     /**
      * Register the functional-read oracle used by the IMP prefetcher
@@ -272,6 +284,7 @@ class MemorySystem
     Dram dram_;
     std::vector<MemStats> stats_;
     CreditHook creditHook_;
+    Attribution *attr_ = nullptr;
     FaultInjector *faults_ = nullptr;
     std::vector<std::unique_ptr<Prefetcher>> hwPrefetchers_;
     ValueOracle oracle_;

@@ -384,6 +384,8 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
         // Local L2 tag probe: a line already present needs no
         // prefetch, no credit and no load-buffer entry.
         if (machine_->memory.inL2(core_, addr)) {
+            if (machine_->attribution)
+                machine_->attribution->prefetchRedundant(core_);
             tc.exec(1);
             co_return std::max(tc.ready(), eq_.now());
         }
@@ -397,6 +399,8 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
         tlCredits();
         if (machine_->memory.inL2(core_, addr)) {
             // Filled by someone while we waited; recycle the credit.
+            if (machine_->attribution)
+                machine_->attribution->prefetchRedundant(core_);
             creditReturn(false);
             tc.exec(1);
             co_return std::max(tc.ready(), eq_.now());
@@ -419,6 +423,7 @@ MinnowEngine::threadletAccess(ThreadletCtx &tc, Addr addr,
     req.when = issue;
     req.engine = true;
     req.prefetch = prefetch;
+    req.lineage = tc.lineage();
     mem::AccessResult res = machine_->memory.access(req);
     if (prefetch) {
         stats_.prefetchLoads += 1;
@@ -619,6 +624,8 @@ MinnowEngine::insertLocal(WorkItem item)
     HostProfScope hp(HostClass::Engine);
     panic_if(localQ_.size() >= params_.localQueueEntries,
              "local queue overflow");
+    if (machine_->attribution)
+        machine_->attribution->taskEnqueued(item.lineage, eq_.now());
     localQ_.push_back(item);
     std::uint64_t seq = insertSeq_++;
     if (params_.prefetchEnabled && program_.graph) {
@@ -761,7 +768,8 @@ MinnowEngine::specDepositTask(std::uint32_t idx, WorkItem item,
         co_return;
     }
     machine_->cores[core_ + idx]->specDeposit(seq, item.priority,
-                                              item.payload);
+                                              item.payload,
+                                              item.lineage);
     if (machine_->timeline) {
         machine_->timeline->instant(tlEngine_,
                                     timeline::Name::SpecDeposit,
@@ -900,7 +908,8 @@ MinnowEngine::rescueLocalTasks()
         cpu::OooCore &oc = *machine_->cores[core_ + i];
         if (oc.specSlot().valid) {
             const cpu::SpecTaskSlot &s = oc.specSlot();
-            global_->pushInitial(WorkItem{s.priority, s.payload});
+            global_->pushInitial(
+                WorkItem{s.priority, s.payload, s.lineage});
             oc.specInvalidate();
             stats_.specReclaims += 1;
             ++n;
@@ -1173,7 +1182,7 @@ MinnowEngine::dequeue(SimContext &ctx)
     // of local instructions, no engine round-trip at all.
     if (params_.specSlot && ctx.core().specSlot().valid) {
         const cpu::SpecTaskSlot &s = ctx.core().specSlot();
-        WorkItem item{s.priority, s.payload};
+        WorkItem item{s.priority, s.payload, s.lineage};
         ctx.core().specInvalidate();
         stats_.dequeues += 1;
         stats_.specHits += 1;
@@ -1217,7 +1226,7 @@ MinnowEngine::dequeue(SimContext &ctx)
         // instead of parking — parking would strand both the task
         // (core-side, valid) and the worker (engine-side, blocked).
         const cpu::SpecTaskSlot &s = ctx.core().specSlot();
-        WorkItem item{s.priority, s.payload};
+        WorkItem item{s.priority, s.payload, s.lineage};
         ctx.core().specInvalidate();
         stats_.specHits += 1;
         machine_->monitor.takeWork(1, false);
@@ -1276,7 +1285,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
     flushPushBuf(ctx.id()); // same fence as dequeue().
     if (params_.specSlot && ctx.core().specSlot().valid) {
         const cpu::SpecTaskSlot &s = ctx.core().specSlot();
-        WorkItem item{s.priority, s.payload};
+        WorkItem item{s.priority, s.payload, s.lineage};
         ctx.core().specInvalidate();
         stats_.dequeues += 1;
         stats_.specHits += 1;
@@ -1325,7 +1334,7 @@ MinnowEngine::dequeueBatch(SimContext &ctx,
         // Same doorbell/deposit race as dequeue(): consume the slot
         // rather than parking under a valid deposit.
         const cpu::SpecTaskSlot &s = ctx.core().specSlot();
-        WorkItem item{s.priority, s.payload};
+        WorkItem item{s.priority, s.payload, s.lineage};
         ctx.core().specInvalidate();
         stats_.specHits += 1;
         machine_->monitor.takeWork(1, false);
@@ -1602,6 +1611,7 @@ MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
 {
     TlSpan tlspan(this, timeline::Name::PrefetchTask);
     ThreadletCtx tc(this, eq_.now());
+    tc.setLineage(item.lineage);
     const graph::CsrGraph &g = *program_.graph;
     NodeId v = NodeId(item.payload & 0xffffffffu);
     std::uint32_t part = std::uint32_t(item.payload >> 32);
@@ -1685,7 +1695,8 @@ MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
         bool viaReserved = co_await ChildSlot{this, &gate, {}, false};
         gate.active += 1;
         adoptThreadlet(
-            prefetchEdgeThreadlet(e, end, seq, &gate, viaReserved));
+            prefetchEdgeThreadlet(e, end, seq, &gate, viaReserved,
+                                  item.lineage));
     }
 
     // Join the children: the gate (and our reserved slot) must
@@ -1739,10 +1750,12 @@ CoTask<void>
 MinnowEngine::prefetchEdgeThreadlet(EdgeId e, EdgeId endEdge,
                                     std::uint64_t seq,
                                     SpawnGate *gate,
-                                    bool usedReserved)
+                                    bool usedReserved,
+                                    std::uint64_t lineage)
 {
     TlSpan tlspan(this, timeline::Name::PrefetchEdge);
     ThreadletCtx tc(this, eq_.now());
+    tc.setLineage(lineage);
     const graph::CsrGraph &g = *program_.graph;
 
     // Fig. 14 prefetchEdge(), line-granular: fetch the edge line,

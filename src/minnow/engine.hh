@@ -86,9 +86,15 @@ class ThreadletCtx
     void setReady(Cycle t) { ready_ = t; }
     MinnowEngine &engine() { return *eng_; }
 
+    /** Trigger-task lineage id carried into prefetch accesses
+     *  (--attribution; 0 = untracked). */
+    std::uint64_t lineage() const { return lineage_; }
+    void setLineage(std::uint64_t id) { lineage_ = id; }
+
   private:
     MinnowEngine *eng_;
     Cycle ready_; //!< data-ready time of this threadlet.
+    std::uint64_t lineage_ = 0;
 };
 
 /** Aggregate engine statistics. */
@@ -437,7 +443,8 @@ class MinnowEngine
                                                 EdgeId endEdge,
                                                 std::uint64_t seq,
                                                 SpawnGate *gate,
-                                                bool usedReserved);
+                                                bool usedReserved,
+                                                std::uint64_t lineage);
 
     runtime::Machine *machine_;
     /** This engine's shard timing wheel (the machine's single queue

@@ -238,6 +238,11 @@ minnowWorker(SimContext &ctx, MinnowEngine &eng, apps::App &app,
         }
         if (!item)
             break;
+        if (mem::Attribution *attr =
+                ctx.machine().attribution.get()) {
+            attr->taskDequeued(ctx.id(), item->lineage,
+                               ctx.machine().eq.now());
+        }
         if (tl) {
             Cycle now = ctx.machine().eq.now();
             tl->span(taskTrack, timeline::Name::Dequeue, dqStart,

@@ -82,7 +82,10 @@ class EngineSink : public apps::TaskSink
     put(runtime::SimContext &ctx, worklist::WorkItem item) override
     {
         timeline::Timeline *tl = ctx.machine().timeline.get();
+        mem::Attribution *attr = ctx.machine().attribution.get();
         Cycle pushStart = ctx.machine().eq.now();
+        if (attr)
+            item.lineage = attr->pushTask(ctx.id(), pushStart);
         co_await sys_->engine(ctx.id()).enqueue(ctx, item);
         if (tl) {
             Cycle now = ctx.machine().eq.now();

@@ -11,6 +11,7 @@
 #ifndef MINNOW_RUNTIME_MACHINE_HH
 #define MINNOW_RUNTIME_MACHINE_HH
 
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "cpu/ooo_core.hh"
+#include "mem/attribution.hh"
 #include "mem/memory_system.hh"
 #include "runtime/work_monitor.hh"
 #include "sim/checkpoint.hh"
@@ -104,6 +106,13 @@ class Machine
                 i, cfg.core, &memory, seed));
         }
         registerStats();
+        if (cfg.attribution) {
+            attribution = std::make_unique<mem::Attribution>(
+                stats, timeline.get(), cfg.numCores,
+                cfg.attributionWindow);
+            attribution->bindClock(&eq.nowRef());
+            memory.setAttribution(attribution.get());
+        }
         if (timeline) {
             timeline->registerStats(stats);
             for (CoreId i = 0; i < cfg.numCores; ++i) {
@@ -116,16 +125,23 @@ class Machine
             // average the stats groups report.
             timeline->addCounterProvider(
                 Cat::Mem, "mem.l2MpkiWindow", this,
-                [this, lastMiss = 0.0, lastUops = 0.0]() mutable {
+                [this, lastMiss = 0.0, lastUops = 0.0,
+                 primed = false]() mutable {
                     double miss =
                         double(memory.totals().l2DemandMisses);
                     double uops = double(totalUops());
                     double dk = (uops - lastUops) / 1000.0;
                     double mpki =
                         dk > 0 ? (miss - lastMiss) / dk : 0.0;
+                    // The first poll's window starts at cycle 0 and
+                    // spans graph build + warmup, understating MPKI;
+                    // prime the baselines and emit nothing (NaN)
+                    // until one complete window has elapsed.
+                    bool first = !primed;
+                    primed = true;
                     lastMiss = miss;
                     lastUops = uops;
-                    return mpki;
+                    return first ? std::nan("") : mpki;
                 });
             timeline->addCounterProvider(
                 Cat::Mem, "mem.prefetchLinesTracked", this, [this] {
@@ -400,6 +416,8 @@ class Machine
         if (faults)
             w.add("faults", ckpt::serialize(*faults));
         w.add("stats", ckpt::serialize(stats));
+        if (attribution)
+            w.add("attribution", ckpt::serialize(*attribution));
         for (auto &[name, fn] : ckptHooks_) {
             std::vector<std::uint8_t> buf;
             ckpt::Ckpt ck = ckpt::Ckpt::saver(&buf);
@@ -496,6 +514,15 @@ class Machine
      * capture it.
      */
     std::unique_ptr<::minnow::timeline::Timeline> timeline;
+
+    /**
+     * Causal-attribution tracker (--attribution; DESIGN.md 5k); null
+     * when off — emit sites guard on this pointer and pay nothing
+     * else. Declared after `stats` and `timeline` (it registers the
+     * "attribution" group and emits flow arrows into the timeline;
+     * both must outlive it).
+     */
+    std::unique_ptr<mem::Attribution> attribution;
 
     std::vector<std::unique_ptr<cpu::OooCore>> cores;
     WorkMonitor monitor;

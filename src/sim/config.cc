@@ -41,6 +41,8 @@ MachineConfig::validate() const
     fatal_if(!timelinePath.empty() && timelineBufferCap == 0,
              "--timeline needs a nonzero --timeline-buffer");
     fatal_if(shards == 0, "--shards must be at least 1");
+    fatal_if(attribution && attributionWindow == 0,
+             "--attribution needs a nonzero --attribution-window");
 }
 
 void
@@ -68,6 +70,13 @@ MachineConfig::applyOptions(const Options &opts)
     // Host performance knob only — byte-identical results across
     // values, so it never enters describe()/configFingerprint().
     shards = std::uint32_t(opts.getUint("shards", shards));
+
+    // Causal attribution layer (DESIGN.md 5k). Model-visible (the
+    // tracker serializes into checkpoints), so it DOES enter
+    // describe()/configFingerprint(), unlike --shards.
+    attribution = opts.getBool("attribution", attribution);
+    attributionWindow = std::uint32_t(
+        opts.getUint("attribution-window", attributionWindow));
 
     // Simulated-time timeline tracing (sim/timeline.hh).
     timelinePath = opts.getString("timeline", timelinePath);
@@ -149,7 +158,8 @@ MachineConfig::describe() const
         "Minnow engine        %s\n"
         "  local queue        %u entries, %u-cycle access\n"
         "  load buffer        %u entries, %u-cycle wakeup\n"
-        "  prefetch           %s, %u credits",
+        "  prefetch           %s, %u credits\n"
+        "Attribution          %s, %u-cycle window",
         numCores, coreFreqHz / 1e9,
         core.dispatchWidth, core.robEntries, core.rsEntries,
         core.lqEntries, core.sqEntries,
@@ -170,7 +180,8 @@ MachineConfig::describe() const
         minnow.localQueueEntries, minnow.localQueueLatency,
         minnow.loadBufferEntries, minnow.loadBufferWakeup,
         minnow.prefetchEnabled ? "worklist-directed" : "off",
-        minnow.prefetchCredits);
+        minnow.prefetchCredits,
+        attribution ? "enabled" : "disabled", attributionWindow);
     return buf;
 }
 

@@ -271,6 +271,25 @@ struct MachineConfig
      */
     std::uint32_t shards = 1;
 
+    /**
+     * Causal attribution layer (--attribution; DESIGN.md section
+     * 5k): per-prefetch lifecycle provenance (timely / late /
+     * early-evicted / redundant / polluting classification with
+     * issue→fill→use histograms, the "attribution" stats group) and
+     * task lineage flows (push→pop arrows in the timeline trace).
+     * Off by default: no tracker is constructed and every emit site
+     * costs one null-check. Unlike --shards this is a model-visible
+     * observability knob and enters the config fingerprint.
+     */
+    bool attribution = false;
+
+    /**
+     * Pollution / re-miss window in cycles (--attribution-window=N):
+     * a line evicted by a prefetch fill counts as polluting only if
+     * it demand-misses again within this many cycles.
+     */
+    std::uint32_t attributionWindow = 4096;
+
     std::uint64_t totalL3Bytes() const
     {
         return std::uint64_t(numCores) * l3Bank.sizeBytes;

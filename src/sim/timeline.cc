@@ -44,6 +44,8 @@ constexpr const char *kNameStrings[std::size_t(Name::kNum)] = {
     "creditHandoff",
     "specDeposit",
     "specReclaim",
+    "lineage",
+    "prefetch",
 };
 
 const char *
@@ -262,6 +264,40 @@ Timeline::counter(TrackId t, Cycle at, double value)
 }
 
 void
+Timeline::flowRec(TrackId t, Name n, Cycle at, std::uint64_t id,
+                  RecKind kind)
+{
+    if (t == kNoTrack)
+        return;
+    Record r;
+    r.begin = at;
+    r.extra = id;
+    r.track = t;
+    r.name = std::uint16_t(n);
+    r.kind = std::uint8_t(kind);
+    push(r);
+    ++flowRecs_;
+}
+
+void
+Timeline::flowStart(TrackId t, Name n, Cycle at, std::uint64_t id)
+{
+    flowRec(t, n, at, id, RecKind::FlowStart);
+}
+
+void
+Timeline::flowStep(TrackId t, Name n, Cycle at, std::uint64_t id)
+{
+    flowRec(t, n, at, id, RecKind::FlowStep);
+}
+
+void
+Timeline::flowEnd(TrackId t, Name n, Cycle at, std::uint64_t id)
+{
+    flowRec(t, n, at, id, RecKind::FlowEnd);
+}
+
+void
 Timeline::taskSample(TaskPhase p, Cycle duration)
 {
     HistogramStat *h = taskHist_[std::size_t(p)];
@@ -328,6 +364,11 @@ Timeline::pollProviders(Cycle at)
 {
     for (Provider &p : providers_) {
         double v = p.fn();
+        // NaN means "no sample yet" (windowed providers return it
+        // until one full window has elapsed); note NaN == last is
+        // always false, so this must be an explicit skip.
+        if (std::isnan(v))
+            continue;
         if (p.hasLast && v == p.last)
             continue; // unchanged: the flat line is implied.
         p.last = v;
@@ -349,6 +390,8 @@ Timeline::registerStats(StatsRegistry &reg)
               [this] { return double(instants_); });
     g.formula("counterSamples", "counter records emitted",
               [this] { return double(counterRecs_); });
+    g.formula("flowLegs", "flow-arrow leg records emitted",
+              [this] { return double(flowRecs_); });
     g.formula("droppedEvents", "oldest records lost to ring wrap",
               [this] { return double(dropped_); });
     g.formula("bufferCapacity", "ring capacity in records",
@@ -393,10 +436,11 @@ Timeline::toJson() const
     struct Ev
     {
         Cycle ts;
-        char ph; // 'B', 'E', 'i', 'C'
+        char ph; // 'B', 'E', 'i', 'C', 's', 't', 'f'
         TrackId track;
         std::uint16_t name = 0;
         double value = 0;
+        std::uint64_t id = 0; // flow id for 's'/'t'/'f'.
     };
     struct SpanRec
     {
@@ -404,6 +448,15 @@ Timeline::toJson() const
         Cycle end;
         std::uint64_t idx; // emission order, tie-break.
         std::uint16_t name;
+    };
+    struct FlowLeg
+    {
+        Cycle ts;
+        std::uint64_t id;
+        std::uint64_t idx;
+        TrackId track;
+        std::uint16_t name;
+        std::uint8_t kind; // 0 start, 1 step, 2 end.
     };
 
     const std::size_t count = recorded();
@@ -413,6 +466,7 @@ Timeline::toJson() const
     // assigned in registration order, so this is deterministic).
     std::vector<std::vector<SpanRec>> spansBy(tracks_.size());
     std::vector<std::vector<Ev>> othersBy(tracks_.size());
+    std::vector<FlowLeg> flowLegs;
     for (std::size_t i = 0; i < count; ++i) {
         const Record &r = ring_[(oldest + i) % ring_.size()];
         switch (RecKind(r.kind)) {
@@ -428,6 +482,14 @@ Timeline::toJson() const
             othersBy[r.track].push_back(
                 Ev{r.begin, 'C', r.track, 0,
                    std::bit_cast<double>(r.extra)});
+            break;
+          case RecKind::FlowStart:
+          case RecKind::FlowStep:
+          case RecKind::FlowEnd:
+            flowLegs.push_back(FlowLeg{
+                r.begin, r.extra, i, r.track, r.name,
+                std::uint8_t(std::uint8_t(r.kind) -
+                             std::uint8_t(RecKind::FlowStart))});
             break;
         }
     }
@@ -470,6 +532,40 @@ Timeline::toJson() const
         }
         for (const Ev &e : othersBy[t])
             evs.push_back(e);
+    }
+    // Flow arrows: group legs by id and emit only complete flows —
+    // at least one start and one end, start earliest and end latest
+    // after ordering by (ts, kind, emission order). A leg lost to
+    // ring wrap (or a never-terminated flow) drops the whole id, so
+    // the export can never contain a dangling 's'.
+    std::sort(flowLegs.begin(), flowLegs.end(),
+              [](const FlowLeg &a, const FlowLeg &b) {
+                  if (a.id != b.id)
+                      return a.id < b.id;
+                  if (a.ts != b.ts)
+                      return a.ts < b.ts;
+                  if (a.kind != b.kind)
+                      return a.kind < b.kind;
+                  return a.idx < b.idx;
+              });
+    static constexpr char kFlowPh[] = {'s', 't', 'f'};
+    for (std::size_t i = 0; i < flowLegs.size();) {
+        std::size_t j = i;
+        while (j < flowLegs.size() &&
+               flowLegs[j].id == flowLegs[i].id)
+            ++j;
+        bool complete = flowLegs[i].kind == 0 &&
+                        flowLegs[j - 1].kind == 2;
+        for (std::size_t k = i + 1; complete && k < j - 1; ++k)
+            complete = flowLegs[k].kind == 1;
+        if (complete) {
+            for (std::size_t k = i; k < j; ++k) {
+                const FlowLeg &l = flowLegs[k];
+                evs.push_back(Ev{l.ts, kFlowPh[l.kind], l.track,
+                                 l.name, 0, l.id});
+            }
+        }
+        i = j;
     }
     // Tracks were appended in id order and each track's stream is
     // already time-sorted, so a stable sort by timestamp alone keeps
@@ -565,6 +661,18 @@ Timeline::toJson() const
             out += "\",\"args\":{\"value\":";
             jsonNumber(out, e.value);
             out += '}';
+            break;
+          case 's':
+          case 't':
+          case 'f':
+            out += ",\"name\":\"";
+            jsonEscape(out, kNameStrings[e.name]);
+            out += "\",\"cat\":\"";
+            out += kCatNames[std::size_t(tr.cat)];
+            out += "\",\"id\":";
+            appendU64(out, e.id);
+            if (e.ph == 'f')
+                out += ",\"bp\":\"e\"";
             break;
           default: // 'E' carries no name.
             break;

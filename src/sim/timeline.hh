@@ -117,6 +117,8 @@ enum class Name : std::uint16_t
     CreditHandoff, //!< credit returned straight to a waiter.
     SpecDeposit,   //!< engine deposited a task in a core slot.
     SpecReclaim,   //!< spec-slot task reclaimed by rescue/kill.
+    LineageFlow,   //!< parent push -> child dequeue flow arrow.
+    PrefetchFlow,  //!< prefetch issue -> fill -> demand-use arrow.
     kNum,
 };
 
@@ -216,6 +218,21 @@ class Timeline
     /** Record a counter value change/sample. */
     void counter(TrackId t, Cycle at, double value);
 
+    // Flow arrows (Chrome ph "s"/"t"/"f"). All legs of one arrow
+    // share @p id; the exporter only emits ids with at least one
+    // start and one end, so a leg lost to ring wrap can never leave
+    // a dangling arrow in the file. Legs bind to the span enclosing
+    // (track, at) in Perfetto.
+
+    /** Record the start leg of flow @p id. */
+    void flowStart(TrackId t, Name n, Cycle at, std::uint64_t id);
+
+    /** Record an intermediate leg of flow @p id. */
+    void flowStep(TrackId t, Name n, Cycle at, std::uint64_t id);
+
+    /** Record the terminating leg of flow @p id. */
+    void flowEnd(TrackId t, Name n, Cycle at, std::uint64_t id);
+
     /** Feed the task-latency attribution histograms. */
     void taskSample(TaskPhase p, Cycle duration);
 
@@ -264,6 +281,7 @@ class Timeline
     std::uint64_t spans() const { return spans_; }
     std::uint64_t instants() const { return instants_; }
     std::uint64_t counterSamples() const { return counterRecs_; }
+    std::uint64_t flowLegs() const { return flowRecs_; }
 
   private:
     enum class RecKind : std::uint8_t
@@ -271,10 +289,14 @@ class Timeline
         Span = 0,
         Instant,
         Counter,
+        FlowStart,
+        FlowStep,
+        FlowEnd,
     };
 
     /** One ring slot; 32 bytes. For Counter records `extra` holds
-     *  the value's bit pattern instead of an end cycle. */
+     *  the value's bit pattern instead of an end cycle; for Flow
+     *  records it holds the flow id. */
     struct Record
     {
         Cycle begin = 0;
@@ -311,6 +333,8 @@ class Timeline
     static void sampleEvent(void *arg);
     void pollProviders(Cycle at);
     void push(const Record &r);
+    void flowRec(TrackId t, Name n, Cycle at, std::uint64_t id,
+                 RecKind kind);
 
     const Cycle *now_ = nullptr;
     std::uint32_t catMask_;
@@ -322,6 +346,7 @@ class Timeline
     std::uint64_t spans_ = 0;
     std::uint64_t instants_ = 0;
     std::uint64_t counterRecs_ = 0;
+    std::uint64_t flowRecs_ = 0;
 
     std::vector<Track> tracks_;
     std::vector<TrackId> coreTasks_;

@@ -38,6 +38,15 @@ struct WorkItem
     std::int64_t priority = 0;
     std::uint64_t payload = 0;
 
+    /**
+     * Causal-attribution lineage id (--attribution): the id assigned
+     * to this task at push time, 0 for seeds or when attribution is
+     * off. Host-side bookkeeping only — it occupies no simulated
+     * bytes (kItemBytes stays 16) and does not affect identity, so
+     * stale-task comparisons ignore it.
+     */
+    std::uint64_t lineage = 0;
+
     bool
     operator==(const WorkItem &o) const
     {
