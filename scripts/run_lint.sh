@@ -2,8 +2,11 @@
 # Run the full static-analysis pass:
 #
 #   1. minnow-lint (tools/lint) over src/ — the project-specific
-#      determinism / lifetime / instrumentation rules. Always runs;
-#      needs only python3.
+#      determinism / lifetime / instrumentation / architecture
+#      rules, including the whole-program ProjectModel pass (call
+#      graph, include graph, layer DAG). Always runs; needs only
+#      python3. The "graph: N files, ... layers" summary line it
+#      prints is the CI-visible record of the model's coverage.
 #   2. clang-tidy (.clang-tidy config) over src/ — generic C++ bug
 #      classes. Runs only when a clang-tidy binary AND a compilation
 #      database are present; skipped (with a notice) otherwise, so
@@ -22,7 +25,10 @@ status=0
 
 echo "== minnow-lint: src/ =="
 if command -v python3 >/dev/null 2>&1; then
-    python3 "$ROOT/tools/lint/minnow-lint.py" --root "$ROOT" src \
+    # 2>&1 keeps the graph/summary lines (stderr) in CI logs even
+    # when the log collector only captures stdout.
+    python3 "$ROOT/tools/lint/minnow-lint.py" --root "$ROOT" \
+        --jobs 2 --budget-seconds 30 src 2>&1 \
         || status=1
 else
     echo "error: python3 not found; minnow-lint cannot run" >&2

@@ -1695,6 +1695,7 @@ MinnowEngine::prefetchTaskThreadlet(WorkItem item, std::uint64_t seq)
         bool viaReserved = co_await ChildSlot{this, &gate, {}, false};
         gate.active += 1;
         adoptThreadlet(
+            // LINT-OK(coro-suspend-safety): gate is joined below
             prefetchEdgeThreadlet(e, end, seq, &gate, viaReserved,
                                   item.lineage));
     }

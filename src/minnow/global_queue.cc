@@ -107,9 +107,11 @@ MinnowGlobalQueue::spillBatch(ThreadletCtx &tc,
 }
 
 CoTask<std::uint32_t>
-MinnowGlobalQueue::fill(ThreadletCtx &tc, std::uint32_t max,
-                        std::vector<WorkItem> &out,
-                        std::int64_t &bucket, std::uint32_t pkg)
+MinnowGlobalQueue::fill(
+    ThreadletCtx &tc, std::uint32_t max,
+    // LINT-OK(coro-suspend-safety): every caller co_awaits fill()
+    std::vector<WorkItem> &out, std::int64_t &bucket,
+    std::uint32_t pkg)
 {
     pkg %= packages_;
     tc.exec(6);

@@ -127,6 +127,7 @@ ChunkedWorklist::pop(SimContext &ctx, WorkItem &out)
     PhaseGuard guard(ctx, cpu::Phase::Worklist);
     ctx.compute(40);
     ctx.cheapLoads(10);
+    // LINT-OK(coro-suspend-safety): workers_ is fixed-size after ctor
     PerWorker &w = workers_[ctx.id()];
 
     for (;;) {

@@ -177,6 +177,7 @@ ObimWorklist::pop(SimContext &ctx, WorkItem &out)
     PhaseGuard guard(ctx, cpu::Phase::Worklist);
     ctx.compute(48);
     ctx.cheapLoads(12);
+    // LINT-OK(coro-suspend-safety): workers_ is fixed-size after ctor
     PerWorker &w = workers_[ctx.id()];
     const std::uint32_t myPkg = pkgOf(ctx.id());
 

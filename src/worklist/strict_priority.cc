@@ -102,6 +102,7 @@ StrictPriorityWorklist::push(SimContext &ctx, WorkItem item)
 }
 
 CoTask<bool>
+// LINT-OK(coro-suspend-safety): every caller co_awaits pop()
 StrictPriorityWorklist::pop(SimContext &ctx, WorkItem &out)
 {
     PhaseGuard guard(ctx, cpu::Phase::Worklist);

@@ -1,0 +1,116 @@
+// Seeded violations for the `coro-suspend-safety` rule: state that
+// points into someone else's storage, cached before a co_await and
+// touched after it. While a coroutine is suspended any other
+// threadlet may run, so the referent can move, shrink, or die.
+// Conforming twins in coro_suspend_ok.cc.
+
+#include <vector>
+
+namespace fixture
+{
+
+template <typename T>
+struct CoTask
+{
+};
+
+struct Awaitable
+{
+};
+
+struct SimContext
+{
+    Awaitable sync();
+    unsigned id() const;
+    void schedule(unsigned long long when, void (*fn)(void *),
+                  void *arg);
+};
+
+struct Slot
+{
+    int pending = 0;
+    void touch();
+};
+
+struct ScratchBuffer
+{
+    void clear();
+    int take();
+};
+
+class SuspendHazards
+{
+  public:
+    CoTask<void> elementRefAcross(SimContext &ctx);
+    CoTask<void> refParamAcross(SimContext &ctx, ScratchBuffer &buf);
+    CoTask<void> lambdaEscapes(SimContext &ctx);
+    CoTask<void> lambdaStored(SimContext &ctx);
+    CoTask<void> detachedChild(SimContext &ctx);
+    CoTask<void> childTask(int *counter);
+
+  private:
+    void adopt(CoTask<void> task);
+    std::vector<Slot> slots_;
+    void (*retry_)() = nullptr;
+};
+
+CoTask<void>
+SuspendHazards::elementRefAcross(SimContext &ctx)
+{
+    // finding: element reference read after the suspension — the
+    // vector can reallocate while this coroutine is parked.
+    Slot &s = slots_[ctx.id()];
+    co_await ctx.sync();
+    s.touch();
+}
+
+CoTask<void>
+// finding on the next line: by-ref parameter read after suspension.
+SuspendHazards::refParamAcross(SimContext &ctx, ScratchBuffer &buf)
+{
+    co_await ctx.sync();
+    buf.clear();
+}
+
+CoTask<void>
+SuspendHazards::lambdaEscapes(SimContext &ctx)
+{
+    int budget = 4;
+    // finding: by-ref lambda passed to a scheduling sink outlives
+    // the frame's suspension.
+    ctx.schedule(10, [&](void *) { budget -= 1; }, nullptr);
+    co_await ctx.sync();
+    co_return;
+}
+
+CoTask<void>
+SuspendHazards::lambdaStored(SimContext &ctx)
+{
+    int credits = 2;
+    // finding: by-ref lambda kept in a local and invoked after the
+    // suspension; `credits` may be gone by then in real code shapes
+    // (the lambda can also escape through the local).
+    auto replay = [&] { credits += 1; };
+    co_await ctx.sync();
+    replay();
+}
+
+CoTask<void>
+SuspendHazards::detachedChild(SimContext &ctx)
+{
+    int outstanding = 0;
+    // finding: &outstanding handed to a CoTask that is never
+    // co_awaited here; the detached child keeps a frame pointer.
+    adopt(childTask(&outstanding));
+    co_await ctx.sync();
+    co_return;
+}
+
+CoTask<void>
+SuspendHazards::childTask(int *counter)
+{
+    *counter += 1;
+    co_return;
+}
+
+} // namespace fixture

@@ -1,0 +1,107 @@
+// Conforming twin for the `coro-suspend-safety` rule: the same
+// shapes as coro_suspend_bad.cc, written safely. Must lint clean.
+
+#include <memory>
+#include <vector>
+
+namespace fixture
+{
+
+template <typename T>
+struct CoTask
+{
+};
+
+struct Awaitable
+{
+};
+
+struct SimContext
+{
+    Awaitable sync();
+    unsigned id() const;
+};
+
+struct SafeSlot
+{
+    int pending = 0;
+    void touch();
+};
+
+struct Tracker
+{
+    void mark();
+};
+
+struct WorkUnit
+{
+    int prio = 0;
+};
+
+class SuspendSafe
+{
+  public:
+    CoTask<void> refetchAfterAwait(SimContext &ctx);
+    CoTask<void> pointerPeek(SimContext &ctx);
+    CoTask<void> valueLambda(SimContext &ctx);
+    CoTask<bool> fetchInto(SimContext &ctx, WorkUnit &out);
+    CoTask<void> awaitedCaller(SimContext &ctx);
+
+  private:
+    std::vector<SafeSlot> safeSlots_;
+    std::unique_ptr<Tracker> tracker_;
+};
+
+CoTask<void>
+SuspendSafe::refetchAfterAwait(SimContext &ctx)
+{
+    safeSlots_[ctx.id()].pending += 1;
+    co_await ctx.sync();
+    // Safe: the element is re-fetched after the suspension instead
+    // of holding a reference across it.
+    safeSlots_[ctx.id()].touch();
+}
+
+CoTask<void>
+SuspendSafe::pointerPeek(SimContext &ctx)
+{
+    // Safe: a .get() peek copies the pointer; the unique_ptr owner
+    // is a member whose identity is stable across suspension.
+    Tracker *t = tracker_.get();
+    co_await ctx.sync();
+    if (t)
+        t->mark();
+}
+
+CoTask<void>
+SuspendSafe::valueLambda(SimContext &ctx)
+{
+    int credits = 2;
+    // Safe: by-value capture owns its state; nothing dangles when
+    // the frame suspends.
+    auto replay = [credits]() mutable { credits += 1; };
+    co_await ctx.sync();
+    replay();
+}
+
+CoTask<bool>
+SuspendSafe::fetchInto(SimContext &ctx, WorkUnit &out)
+{
+    co_await ctx.sync();
+    // Safe whole-program: every call site of fetchInto() below
+    // co_awaits it, so the caller's frame outlives this write.
+    out.prio = 1;
+    co_return true;
+}
+
+CoTask<void>
+SuspendSafe::awaitedCaller(SimContext &ctx)
+{
+    WorkUnit item;
+    bool got = co_await fetchInto(ctx, item);
+    if (got)
+        item.prio += 1;
+    co_return;
+}
+
+} // namespace fixture

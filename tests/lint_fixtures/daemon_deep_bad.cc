@@ -1,0 +1,69 @@
+// Seeded violation for the whole-program `daemon-accounting` rule:
+// the re-arm of a daemon handler sits two helper calls below the
+// handler. The pre-ProjectModel rule followed exactly one level and
+// missed this shape entirely — this fixture pins the fix. Exactly
+// one finding: the deep re-arm is not quiescent()-guarded. The rest
+// of the protocol (daemonScheduled at every arm site, daemonFired
+// in the handler) is deliberately correct so nothing else fires.
+
+namespace fixture
+{
+
+class DeepEventQueue
+{
+  public:
+    unsigned long long now() const;
+    bool quiescent() const;
+    void daemonScheduled();
+    void daemonFired();
+    void schedule(unsigned long long when, void (*fn)(void *),
+                  void *arg);
+};
+
+class DeepSampler
+{
+  public:
+    void start();
+
+  private:
+    static void tickEvent(void *arg);
+    void stepOne();
+    void stepTwo();
+
+    DeepEventQueue *eq_ = nullptr;
+    unsigned long long interval_ = 500;
+};
+
+void
+DeepSampler::start()
+{
+    eq_->daemonScheduled();
+    eq_->schedule(eq_->now() + interval_, &DeepSampler::tickEvent,
+                  this);
+}
+
+void
+DeepSampler::tickEvent(void *arg)
+{
+    auto *s = static_cast<DeepSampler *>(arg);
+    s->eq_->daemonFired();
+    s->stepOne();
+}
+
+void
+DeepSampler::stepOne()
+{
+    stepTwo();
+}
+
+// finding on the definition below: the re-arm two levels under the
+// handler is not guarded by quiescent(), so the queue never drains.
+void
+DeepSampler::stepTwo()
+{
+    eq_->daemonScheduled();
+    eq_->schedule(eq_->now() + interval_, &DeepSampler::tickEvent,
+                  this);
+}
+
+} // namespace fixture

@@ -1,0 +1,70 @@
+// Conforming twin for the `determinism-taint` rule: host time used
+// only where it is sanctioned (host-side profiling counters that
+// are neither stats scalars nor checkpointed), and sim-facing sinks
+// fed exclusively from sim time and configuration. Must lint clean.
+
+namespace fixture
+{
+
+unsigned long long hostNowNs();
+
+struct ProfTimerQueue
+{
+    unsigned long long now() const;
+    void schedule(unsigned long long when, void (*fn)(void *),
+                  void *arg);
+};
+
+struct ConfigRng
+{
+    void seed(unsigned long long s);
+};
+
+struct RunConfig
+{
+    unsigned long long rngSeed = 1;
+};
+
+class HostProfiler
+{
+  public:
+    void armTimer(ProfTimerQueue &tq);
+    void reseed(ConfigRng &rng, const RunConfig &cfg);
+    void beginSection();
+    void endSection();
+
+  private:
+    // Plain host-side accounting: not a Stat, not checkpointed —
+    // exactly the sanctioned hostprof shape.
+    unsigned long long sectionStartNs_ = 0;
+    unsigned long long hostSpentNs_ = 0;
+};
+
+void
+HostProfiler::armTimer(ProfTimerQueue &tq)
+{
+    // Safe: the event time is pure sim time.
+    tq.schedule(tq.now() + 1000, nullptr, nullptr);
+}
+
+void
+HostProfiler::reseed(ConfigRng &rng, const RunConfig &cfg)
+{
+    // Safe: the seed comes from configuration, so every run with
+    // the same config draws the same stream.
+    rng.seed(cfg.rngSeed);
+}
+
+void
+HostProfiler::beginSection()
+{
+    sectionStartNs_ = hostNowNs();
+}
+
+void
+HostProfiler::endSection()
+{
+    hostSpentNs_ += hostNowNs() - sectionStartNs_;
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Support file for the `layer-dag` fixtures: an app-layer header.
+// Its include of the base layer is a forward (downward) edge and is
+// fine; layer_bad.hh's include of THIS file is the seeded backward
+// edge.
+
+#ifndef FIXTURE_LAYERS_APPS_LAYER_APP_HH
+#define FIXTURE_LAYERS_APPS_LAYER_APP_HH
+
+#include "layers/base/layer_ok.hh"
+
+namespace fixture
+{
+
+struct LayerApp
+{
+    BaseTick started;
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,20 @@
+// Seeded violation for the `layer-dag` rule: half of a file-level
+// include cycle (cycle_a_bad.hh <-> cycle_b_bad.hh). The cycle is
+// reported once, anchored on this file (lexicographically first).
+
+#ifndef FIXTURE_LAYERS_BASE_CYCLE_A_BAD_HH
+#define FIXTURE_LAYERS_BASE_CYCLE_A_BAD_HH
+
+#include "layers/base/cycle_b_bad.hh"
+
+namespace fixture
+{
+
+struct CycleA
+{
+    int a = 0;
+};
+
+} // namespace fixture
+
+#endif

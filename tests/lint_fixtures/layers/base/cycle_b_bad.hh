@@ -1,0 +1,18 @@
+// The other half of the seeded include cycle; see cycle_a_bad.hh.
+
+#ifndef FIXTURE_LAYERS_BASE_CYCLE_B_BAD_HH
+#define FIXTURE_LAYERS_BASE_CYCLE_B_BAD_HH
+
+#include "layers/base/cycle_a_bad.hh"
+
+namespace fixture
+{
+
+struct CycleB
+{
+    int b = 0;
+};
+
+} // namespace fixture
+
+#endif

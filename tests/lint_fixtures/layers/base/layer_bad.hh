@@ -1,0 +1,20 @@
+// Seeded violation for the `layer-dag` rule: a base-layer header
+// reaching UP into the app layer. The include line below must be a
+// finding — the foundation now breaks whenever its client refactors.
+
+#ifndef FIXTURE_LAYERS_BASE_LAYER_BAD_HH
+#define FIXTURE_LAYERS_BASE_LAYER_BAD_HH
+
+#include "layers/apps/layer_app.hh"
+
+namespace fixture
+{
+
+struct BackwardsCoupling
+{
+    LayerApp *app = nullptr;
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,17 @@
+// Conforming fixture for the `layer-dag` rule: a base-layer header
+// with no upward dependencies. Must lint clean.
+
+#ifndef FIXTURE_LAYERS_BASE_LAYER_OK_HH
+#define FIXTURE_LAYERS_BASE_LAYER_OK_HH
+
+namespace fixture
+{
+
+struct BaseTick
+{
+    unsigned long long value = 0;
+};
+
+} // namespace fixture
+
+#endif

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Unit test for the minnow-lint ProjectModel (tier-1, wired into
+ctest as `minnow_lint_project_model`).
+
+Builds a synthetic two-file project in memory — no filesystem, no
+golden files — and asserts the whole-program facts every
+check_project rule leans on: the function index, call-graph edges
+(same-class preference and the conservative overload-set fallback),
+include-edge resolution, layer assignment, cycle detection, the
+return-value taint closure, and class-restricted reachability.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "tools", "lint"))
+
+from minnow_lint.tokenizer import tokenize
+from minnow_lint.cpp_model import build_model
+from minnow_lint.project import ProjectModel, Layers
+
+BASE_HH = """
+#include "apps/tool.cc"
+
+unsigned long long hostNowNs();
+
+unsigned long long rawStamp() { return hostNowNs(); }
+
+unsigned long long cookedStamp() { return rawStamp() / 2; }
+
+void log(int) {}
+
+class Helper
+{
+  public:
+    void log(int) {}
+    void tick() { log(1); step(); }
+    void step() { finish(); }
+    void finish() {}
+};
+"""
+
+TOOL_CC = """
+#include "base/util.hh"
+
+void log(long) {}
+
+void consume(unsigned long long);
+
+void drive() { consume(cookedStamp()); }
+
+void spray() { log(2L); }
+"""
+
+FAILURES = []
+
+
+def check(cond, what):
+    if not cond:
+        FAILURES.append(what)
+
+
+def build():
+    models = []
+    for path, text in (("src/base/util.hh", BASE_HH),
+                       ("src/apps/tool.cc", TOOL_CC)):
+        toks, comments, pp = tokenize(text, path)
+        models.append(build_model(path, toks, comments, pp))
+    layers = Layers(
+        names=["base", "apps"],
+        dirs=[("src/base", "base"), ("src/apps", "apps")])
+    return ProjectModel(models, layers)
+
+
+def key_of(pm, qual):
+    matches = [k for k, fi in pm.functions.items() if fi.qual == qual]
+    check(len(matches) == 1,
+          "expected exactly one %r, got %r" % (qual, matches))
+    return matches[0] if matches else None
+
+
+def main():
+    pm = build()
+
+    # Function index: both files' definitions, qualified.
+    for qual in ("rawStamp", "cookedStamp", "Helper::tick",
+                 "Helper::step", "Helper::finish", "Helper::log",
+                 "drive", "spray"):
+        check(pm.funcs_named(qual.split("::")[-1]),
+              "function %r missing from index" % qual)
+    tick = key_of(pm, "Helper::tick")
+    step = key_of(pm, "Helper::step")
+    finish = key_of(pm, "Helper::finish")
+    helper_log = key_of(pm, "Helper::log")
+
+    # Same-class preference: Helper::tick's bare log(1) binds ONLY
+    # to Helper::log, not the two free log overloads.
+    tick_callees = pm.functions[tick].callees
+    log_targets = {k for k in tick_callees
+                   if pm.functions[k].name == "log"}
+    check(log_targets == {helper_log},
+          "tick's log() should bind same-class only, got %r"
+          % sorted(log_targets))
+
+    # Overload-set fallback: spray's bare log(2L) has no same-class
+    # candidate, so it binds to EVERY definition named log.
+    spray = key_of(pm, "spray")
+    spray_logs = {k for k in pm.functions[spray].callees
+                  if pm.functions[k].name == "log"}
+    check(len(spray_logs) == 3,
+          "spray's log() should bind the whole overload set (3), "
+          "got %d" % len(spray_logs))
+
+    # Class-restricted reachability: tick -> step -> finish, two
+    # edges deep, while a depth-1 walk stops short.
+    reach = pm.reachable_from(tick, max_depth=6, same_class="Helper")
+    check(finish in reach, "finish not reachable from tick")
+    check(finish not in pm.reachable_from(tick, max_depth=1),
+          "depth-1 walk should not reach finish")
+
+    # func_of: Method object -> FuncInfo identity.
+    fi = pm.functions[tick]
+    check(pm.func_of(fi.method) is fi, "func_of lost identity")
+
+    # Include edges resolve by path suffix; both directions resolve,
+    # which is also the synthetic cycle.
+    resolved = {(e.from_path, e.to_path)
+                for e in pm.include_edges if e.to_path}
+    check(("src/base/util.hh", "src/apps/tool.cc") in resolved,
+          "base -> apps include did not resolve")
+    check(("src/apps/tool.cc", "src/base/util.hh") in resolved,
+          "apps -> base include did not resolve")
+    cycles = pm.include_cycles()
+    check(len(cycles) == 1 and
+          sorted(cycles[0]) == ["src/apps/tool.cc",
+                                "src/base/util.hh"],
+          "expected exactly the two-file cycle, got %r" % cycles)
+
+    # Layer assignment: names and levels, and the backward edge is
+    # visible as to_level > from_level.
+    check(pm.layers.layer_of("src/base/util.hh") == ("base", 0),
+          "base layer assignment wrong")
+    check(pm.layers.layer_of("src/apps/tool.cc") == ("apps", 1),
+          "apps layer assignment wrong")
+    check(pm.layers.layer_of("src/unmapped/x.cc") == (None, None),
+          "unmapped path should be unlayered")
+    _, from_lvl = pm.layers.layer_of("src/base/util.hh")
+    _, to_lvl = pm.layers.layer_of("src/apps/tool.cc")
+    check(to_lvl > from_lvl, "backward edge not detectable")
+
+    # Taint closure: rawStamp (returns a source) is depth 1,
+    # cookedStamp (returns rawStamp()) is depth 2, and drive (calls
+    # a tainted function but returns nothing) is NOT in the closure.
+    closure = pm.taint_closure({"hostNowNs"}, max_depth=3)
+    by_name = {pm.functions[k].name: d for k, d in closure.items()}
+    check(by_name.get("rawStamp") == 1,
+          "rawStamp should be depth-1 tainted, got %r" % by_name)
+    check(by_name.get("cookedStamp") == 2,
+          "cookedStamp should be depth-2 tainted, got %r" % by_name)
+    check("drive" not in by_name,
+          "drive returns nothing and must not carry taint")
+
+    # Summary block: counts consistent with the model.
+    s = pm.summary()
+    check(s["files"] == 2 and s["layers"] == 2 and
+          s["layered_files"] == 2,
+          "summary file/layer counts wrong: %r" % s)
+    check(s["functions"] == len(pm.functions) and
+          s["include_edges"] == len(pm.include_edges),
+          "summary graph counts wrong: %r" % s)
+
+    if FAILURES:
+        print("project model test FAILED:")
+        for f in FAILURES:
+            print(" -", f)
+        return 1
+    print("project model test passed: %d functions, %d call edges, "
+          "%d include edges" % (s["functions"], s["call_edges"],
+                                s["include_edges"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

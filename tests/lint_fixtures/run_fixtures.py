@@ -7,12 +7,17 @@ Checks, in order:
  1. linting the whole fixture directory finds EXACTLY the (path,
     line, rule) triples in expected.txt — a missed seeded violation
     and a new false positive both fail;
- 2. the --json output carries the documented schema and a count
-    consistent with the findings list, and the process exits 1;
+ 2. the --json output carries the documented schema (minnow-lint-2;
+    the pre-ProjectModel minnow-lint-1 is rejected with its own
+    message so a consumer pinned to the old schema fails loudly,
+    not with a generic mismatch), a `graph` block describing the
+    whole-program model, and a count consistent with the findings
+    list, and the process exits 1;
  3. every production rule and both meta rules are exercised by at
     least one fixture finding;
  4. the conforming fixtures alone (including the used-suppression
-    file) lint clean with exit 0.
+    file and the layers/ subtree's clean half) lint clean with
+    exit 0.
 """
 
 import json
@@ -25,12 +30,19 @@ ROOT = os.path.dirname(os.path.dirname(HERE))
 LINT = os.path.join(ROOT, "tools", "lint", "minnow-lint.py")
 FIXDIR = os.path.relpath(HERE, ROOT)
 
+SCHEMA = "minnow-lint-2"
+OLD_SCHEMAS = {"minnow-lint-1"}
+
 EXPECTED_RULES = {
     "determinism", "unordered-export", "coroutine-order",
     "stats-lifetime", "daemon-accounting", "trace-format",
     "serializer-coverage", "host-threading",
+    "coro-suspend-safety", "determinism-taint", "layer-dag",
     "stale-suppression", "bad-suppression",
 }
+
+GRAPH_KEYS = ("files", "functions", "call_edges", "include_edges",
+              "layers", "layered_files")
 
 
 def run_lint(paths):
@@ -42,17 +54,53 @@ def run_lint(paths):
     return proc.returncode, json.loads(proc.stdout)
 
 
+def check_schema(doc, failures):
+    schema = doc.get("schema")
+    if schema in OLD_SCHEMAS:
+        failures.append(
+            "analyzer still emits retired schema %r; the "
+            "ProjectModel output format is %r (graph block, "
+            "whole-program rules) — do not silently downgrade"
+            % (schema, SCHEMA))
+        return
+    if schema != SCHEMA:
+        failures.append("schema is %r, want %r" % (schema, SCHEMA))
+
+
+def check_graph(doc, failures):
+    graph = doc.get("graph")
+    if not isinstance(graph, dict):
+        failures.append("--json output lacks the 'graph' block")
+        return
+    for key in GRAPH_KEYS:
+        if not isinstance(graph.get(key), int):
+            failures.append("graph block lacks integer %r: %r"
+                            % (key, graph.get(key)))
+    if graph.get("files") != doc.get("files_scanned"):
+        failures.append("graph.files %r != files_scanned %r"
+                        % (graph.get("files"),
+                           doc.get("files_scanned")))
+    # The fixture project is small but never degenerate: it has
+    # calls, resolved includes (the layers/ subtree), and layered
+    # files, so a ProjectModel silently going empty fails here.
+    for key in ("functions", "call_edges", "include_edges",
+                "layered_files"):
+        if not graph.get(key, 0) > 0:
+            failures.append("graph.%s is %r; the fixture project "
+                            "must exercise the whole-program model"
+                            % (key, graph.get(key)))
+
+
 def main():
     failures = []
 
     # 1 + 2: full fixture directory against the golden set.
     rc, doc = run_lint([FIXDIR])
-    if doc.get("schema") != "minnow-lint-1":
-        failures.append("schema is %r, want 'minnow-lint-1'"
-                        % doc.get("schema"))
+    check_schema(doc, failures)
     for key in ("version", "findings", "count", "files_scanned"):
         if key not in doc:
             failures.append("--json output lacks %r" % key)
+    check_graph(doc, failures)
     if doc.get("count") != len(doc.get("findings", [])):
         failures.append("count %r != len(findings) %d"
                         % (doc.get("count"),
@@ -85,11 +133,16 @@ def main():
     for rule in sorted(EXPECTED_RULES - seen_rules):
         failures.append("rule %r has no firing fixture" % rule)
 
-    # 4: the conforming twins lint clean.
-    ok_files = sorted(
-        os.path.join(FIXDIR, f) for f in os.listdir(HERE)
-        if f.endswith(("_ok.cc", "_ok.hh")))  # incl. suppress_ok.cc
-    rc, doc = run_lint(ok_files)
+    # 4: the conforming twins lint clean. os.walk so subtrees like
+    # layers/ contribute their clean halves too.
+    ok_files = []
+    for dirpath, dirnames, filenames in os.walk(HERE):
+        dirnames.sort()
+        for fn in sorted(filenames):
+            if fn.endswith(("_ok.cc", "_ok.hh")):  # incl. suppress_ok
+                full = os.path.join(dirpath, fn)
+                ok_files.append(os.path.relpath(full, ROOT))
+    rc, doc = run_lint(sorted(ok_files))
     if rc != 0 or doc.get("count") != 0:
         failures.append(
             "conforming fixtures not clean (exit %d):\n  %s"
@@ -104,8 +157,8 @@ def main():
             print(" -", f)
         return 1
     print("minnow-lint fixture suite passed: %d golden findings, "
-          "%d rules exercised, conforming twins clean"
-          % (len(want), len(EXPECTED_RULES)))
+          "%d rules exercised, %d conforming twins clean"
+          % (len(want), len(EXPECTED_RULES), len(ok_files)))
     return 0
 
 

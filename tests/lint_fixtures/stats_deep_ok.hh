@@ -1,0 +1,46 @@
+// Conforming fixture for the whole-program `stats-lifetime` rule:
+// the removeGroup() that balances an external registration sits two
+// helper calls below the destructor. The pre-ProjectModel rule
+// stopped after one level and flagged this shape as a leak (false
+// positive); with the project call graph it must lint clean.
+
+#ifndef FIXTURE_STATS_DEEP_OK_HH
+#define FIXTURE_STATS_DEEP_OK_HH
+
+namespace fixture
+{
+
+class StatsRegistry;
+
+class DeepStatsHolder
+{
+  public:
+    void
+    attachStats(StatsRegistry &reg)
+    {
+        reg_ = &reg;
+        reg_->group("deep_holder");
+    }
+
+    ~DeepStatsHolder() { teardown(); }
+
+  private:
+    void
+    teardown()
+    {
+        dropStats();
+    }
+
+    void
+    dropStats()
+    {
+        if (reg_)
+            reg_->removeGroup("deep_holder");
+    }
+
+    StatsRegistry *reg_ = nullptr;
+};
+
+} // namespace fixture
+
+#endif

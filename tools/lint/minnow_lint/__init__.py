@@ -1,12 +1,14 @@
 """minnow-lint: in-tree static analysis for the Minnow simulator.
 
 A libclang-free analyzer enforcing the project's determinism,
-lifetime, and instrumentation invariants (see DESIGN.md section 5g).
-It is built from a real C++ tokenizer (tools/lint/minnow_lint/
-tokenizer.py) and a lightweight structural model (cpp_model.py) that
-per-rule visitors walk; it is deliberately *not* a pile of regexes
-over raw text, so string literals, comments, and nested class bodies
-cannot confuse the rules.
+lifetime, instrumentation, and architecture invariants (see DESIGN.md
+sections 5g and 5l). It is built from a real C++ tokenizer
+(tools/lint/minnow_lint/tokenizer.py), a lightweight structural model
+(cpp_model.py) that per-rule visitors walk, and a whole-program
+ProjectModel (project.py) — call graph, include graph, layer DAG —
+that whole-program rules query; it is deliberately *not* a pile of
+regexes over raw text, so string literals, comments, and nested class
+bodies cannot confuse the rules.
 
 Rules (stable identifiers, used in LINT-OK suppressions):
 
@@ -17,21 +19,33 @@ Rules (stable identifiers, used in LINT-OK suppressions):
   coroutine-order    L1: timeline/stat bookkeeping members must be
                      declared before coroutine containers.
   stats-lifetime     L2: external StatsRegistry group registrations
-                     need a removeGroup reachable from the dtor.
+                     need a removeGroup reachable from the dtor
+                     (whole-program: follows helper chains).
   daemon-accounting  E1: self-rearming EventQueue events must use the
-                     daemon accounting API, never empty().
+                     daemon accounting API, never empty()
+                     (whole-program: re-arms N helpers deep count).
   trace-format       T1: DPRINTF/logging format strings must match
                      their argument counts.
-  serializer-coverage C1: every member of a checkpointed class must
+  serializer-coverage S1: every member of a checkpointed class must
                      be serialized or declared transient.
   host-threading     P1: std::thread/mutex/atomic and other host
                      concurrency primitives only inside
                      sim/parallel/.
+  coro-suspend-safety C1: no reference/pointer into a stack frame,
+                     by-ref parameter, or by-ref lambda capture used
+                     across a co_await suspension in CoTask bodies.
+  determinism-taint  D3: values derived from hostNowNs()/D1 entropy
+                     sources must not flow (<= 3 call-graph hops)
+                     into schedule times, stats, checkpointed
+                     members, or RNG seeds.
+  layer-dag          A1: src/ includes must respect the layer DAG in
+                     tools/lint/layers.toml; backward edges and
+                     include cycles are findings.
 
 Meta findings: stale-suppression (a LINT-OK that suppressed nothing)
 and bad-suppression (unknown rule or missing reason).
 """
 
-__version__ = "1.0"
+__version__ = "2.0"
 
-SCHEMA = "minnow-lint-1"
+SCHEMA = "minnow-lint-2"

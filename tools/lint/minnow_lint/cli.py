@@ -1,16 +1,24 @@
 """Command-line front end.
 
 Usage:
-    minnow-lint [--root DIR] [--json] [PATH...]
+    minnow-lint [--root DIR] [--json] [--jobs N]
+                [--budget-seconds S] [PATH...]
     minnow-lint --list-rules
 
 Paths default to `src`. Exit status: 0 = clean, 1 = findings
-(including stale/bad suppressions), 2 = analyzer error.
+(including stale/bad suppressions), 2 = analyzer error (unreadable
+input, malformed layers.toml, or a blown --budget-seconds gate).
+
+The whole-program graph summary ("graph: N files, ...") always goes
+to stderr in text mode so CI logs show at a glance whether the
+ProjectModel's coverage regressed; --json carries the same numbers
+in the `graph` block (schema minnow-lint-2).
 """
 
 import argparse
 import json
 import sys
+import time
 
 from . import __version__
 from .engine import run, to_json, LintError
@@ -27,19 +35,36 @@ def _list_rules():
                             "machinery itself"))
 
 
+def _graph_line(graph):
+    return ("graph: %d files, %d functions, %d call edges, "
+            "%d include edges, %d layers (%d files layered)"
+            % (graph["files"], graph["functions"],
+               graph["call_edges"], graph["include_edges"],
+               graph["layers"], graph["layered_files"]))
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         prog="minnow-lint",
         description="Minnow in-tree static analysis "
-                    "(determinism / lifetime / instrumentation "
-                    "invariants; see DESIGN.md 5g)")
+                    "(determinism / lifetime / instrumentation / "
+                    "architecture invariants; see DESIGN.md 5g, 5l)")
     ap.add_argument("paths", nargs="*", default=None,
                     help="files or directories to lint "
                          "(default: src)")
     ap.add_argument("--root", default=".",
                     help="repository root paths are relative to")
     ap.add_argument("--json", action="store_true",
-                    help="emit machine-readable JSON on stdout")
+                    help="emit machine-readable JSON on stdout "
+                         "(schema minnow-lint-2)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="parse files in an N-process pool "
+                         "(default 1; rules still run serially)")
+    ap.add_argument("--budget-seconds", type=float, default=None,
+                    metavar="S",
+                    help="fail (exit 2) if the whole pass takes "
+                         "longer than S wall-clock seconds — the "
+                         "ctest tier-1 time gate")
     ap.add_argument("--list-rules", action="store_true",
                     help="print rule ids and one-line docs, then "
                          "exit")
@@ -51,24 +76,43 @@ def main(argv=None):
         _list_rules()
         return 0
 
+    if args.jobs < 1:
+        print("minnow-lint: error: --jobs must be >= 1",
+              file=sys.stderr)
+        return 2
+
     paths = args.paths or ["src"]
+    t0 = time.monotonic()
     try:
-        findings, files_scanned = run(args.root, paths)
+        findings, files_scanned, graph = run(
+            args.root, paths, jobs=args.jobs)
     except LintError as e:
         print("minnow-lint: error: %s" % e, file=sys.stderr)
         return 2
+    elapsed = time.monotonic() - t0
 
     if args.json:
-        json.dump(to_json(findings, files_scanned, args.root),
+        json.dump(to_json(findings, files_scanned, args.root, graph),
                   sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     else:
         for path, line, rule, msg in findings:
             print("%s:%d: [%s] %s" % (path, line, rule, msg))
-        print("minnow-lint: %d finding%s in %d file%s"
-              % (len(findings), "" if len(findings) == 1 else "s",
-                 files_scanned, "" if files_scanned == 1 else "s"),
+        print("minnow-lint: %s" % _graph_line(graph),
               file=sys.stderr)
+        print("minnow-lint: %d finding%s in %d file%s (%.2fs)"
+              % (len(findings), "" if len(findings) == 1 else "s",
+                 files_scanned, "" if files_scanned == 1 else "s",
+                 elapsed),
+              file=sys.stderr)
+
+    if args.budget_seconds is not None and \
+            elapsed > args.budget_seconds:
+        print("minnow-lint: error: pass took %.2fs, over the "
+              "%.0fs budget — profile the analyzer or raise the "
+              "gate deliberately" % (elapsed, args.budget_seconds),
+              file=sys.stderr)
+        return 2
     return 1 if findings else 0
 
 

@@ -33,6 +33,7 @@ class Method:
     line: int
     body: list  # Token list of the body, without outer braces
     cls: str = ""  # owning class name ('' for free functions)
+    header: list = field(default_factory=list)  # decl tokens before '{'
 
 
 @dataclass
@@ -50,6 +51,7 @@ class FileModel:
     comments: list
     classes: list = field(default_factory=list)  # [ClassDef]
     functions: list = field(default_factory=list)  # [Method]
+    pp: list = field(default_factory=list)  # [PpLine] directives
 
 
 _KEYWORD_NOT_NAME = {
@@ -488,19 +490,21 @@ class _Parser:
 
     def _record_function(self, qualname, line, body, cls,
                          decl_start, brace_i):
+        header = self.toks[decl_start:brace_i]
         if "::" in qualname:
             cls_name, name = qualname.rsplit("::", 1)
         else:
             cls_name, name = ("", qualname)
         if cls is not None:
             m = Method(name=qualname, line=line, body=body,
-                       cls=cls.name)
+                       cls=cls.name, header=header)
             cls.methods.append(m)
         elif cls_name:
             # Out-of-line member definition: attach to the class if
             # we saw its definition, else record as a free function
             # tagged with the class name (unit merging resolves it).
-            m = Method(name=name, line=line, body=body, cls=cls_name)
+            m = Method(name=name, line=line, body=body, cls=cls_name,
+                       header=header)
             for cdef in self.model.classes:
                 if cdef.name == cls_name:
                     cdef.methods.append(m)
@@ -509,7 +513,8 @@ class _Parser:
                 self.model.functions.append(m)
         else:
             self.model.functions.append(
-                Method(name=name, line=line, body=body, cls=""))
+                Method(name=name, line=line, body=body, cls="",
+                       header=header))
 
     def _record_member(self, decl_start, semi_i, cls):
         toks = self.toks
@@ -536,10 +541,11 @@ class _Parser:
                 Member(name=name, type_tokens=decl, line=line))
 
 
-def build_model(path, tokens, comments):
+def build_model(path, tokens, comments, pp=None):
     """Parse tokens into a FileModel. Never raises on weird input —
     an outline that missed something simply yields fewer findings."""
-    model = FileModel(path=path, tokens=tokens, comments=comments)
+    model = FileModel(path=path, tokens=tokens, comments=comments,
+                      pp=list(pp) if pp else [])
     try:
         _Parser(model).parse()
     except RecursionError:  # pragma: no cover - safety net

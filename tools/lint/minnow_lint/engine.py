@@ -1,5 +1,7 @@
-"""Driver: discover files, build models, run rules, apply the
-allowlist and LINT-OK suppressions, and produce findings.
+"""Driver: discover files, build models (optionally in a process
+pool), assemble the ProjectModel, run per-unit and whole-program
+rules, apply the allowlist and LINT-OK suppressions, and produce
+findings.
 
 Findings are 4-tuples (path, line, rule, message) with `path`
 relative to the scan root, sorted by (path, line, rule) so output is
@@ -11,15 +13,16 @@ import os
 from . import SCHEMA, __version__
 from .tokenizer import tokenize, TokenizeError
 from .cpp_model import build_model
-from .rules import ALL_RULES, RULE_IDS, META_RULE_IDS
+from .project import ProjectModel, load_layers, LayersError
+from .rules import UNIT_RULES, PROJECT_RULES, RULE_IDS, META_RULE_IDS
 from . import suppressions
 
 _EXTS = (".hh", ".cc", ".h", ".cpp")
 
 # The project-wide allowlist: (rule, path suffix, token). A finding
 # of `rule` in a file whose path ends with the suffix is dropped when
-# the token appears in its message. Deliberately exactly one entry:
-# the --host-profile self-profiler measures host wall time by design,
+# the token appears in its message. Deliberately tiny: the
+# --host-profile self-profiler measures host wall time by design,
 # and every host-time read in the tree is funneled through the single
 # hostNowNs() in base/host_clock.cc so the exemption covers one
 # symbol in one file. Grow this list only with a matching DESIGN.md
@@ -53,6 +56,35 @@ def discover(root, paths):
     return sorted(set(out))
 
 
+def _parse_one(args):
+    """Tokenize + model one file. Top-level so a multiprocessing
+    pool can pickle it; returns (rel, FileModel) or raises strings
+    wrapped by the caller."""
+    root, rel = args
+    full = os.path.join(root, rel)
+    try:
+        with open(full, "r", encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        raise LintError("cannot read %s: %s" % (rel, e))
+    try:
+        tokens, comments, pp = tokenize(text, rel)
+    except TokenizeError as e:
+        raise LintError(str(e))
+    return build_model(rel, tokens, comments, pp)
+
+
+def _build_models(root, rel_files, jobs):
+    if jobs > 1 and len(rel_files) > 4:
+        import multiprocessing
+        with multiprocessing.Pool(jobs) as pool:
+            return pool.map(_parse_one,
+                            [(root, rel) for rel in rel_files],
+                            chunksize=8)
+    return [_parse_one((root, rel)) for rel in rel_files]
+
+
 def _units(models):
     """Group FileModels by path stem so foo.hh and foo.cc are
     analyzed together (out-of-line definitions see the class)."""
@@ -71,37 +103,32 @@ def _allowlisted(finding, allowlist):
     return False
 
 
-def run(root, paths, allowlist=None):
-    """Lint `paths` under `root`. Returns (findings, files_scanned).
+def run(root, paths, allowlist=None, jobs=1):
+    """Lint `paths` under `root`. Returns (findings, files_scanned,
+    graph_summary).
 
-    Raises LintError on unreadable input or tokenizer failure —
-    a file the analyzer cannot read is a hard error, not a silent
-    pass.
+    Raises LintError on unreadable input, tokenizer failure, or a
+    malformed tools/lint/layers.toml — a config the analyzer cannot
+    trust is a hard error, not a silent pass.
     """
     if allowlist is None:
         allowlist = DEFAULT_ALLOWLIST
     rel_files = discover(root, paths)
-    models = []
-    file_comments = {}
-    for rel in rel_files:
-        full = os.path.join(root, rel)
-        try:
-            with open(full, "r", encoding="utf-8",
-                      errors="replace") as f:
-                text = f.read()
-        except OSError as e:
-            raise LintError("cannot read %s: %s" % (rel, e))
-        try:
-            tokens, comments, _pp = tokenize(text, rel)
-        except TokenizeError as e:
-            raise LintError(str(e))
-        models.append(build_model(rel, tokens, comments))
-        file_comments[rel] = comments
+    models = _build_models(root, rel_files, jobs)
+    file_comments = {m.path: m.comments for m in models}
+
+    try:
+        layers = load_layers(root)
+    except LayersError as e:
+        raise LintError(str(e))
+    project = ProjectModel(models, layers)
 
     raw = []
     for unit in _units(models):
-        for rule in ALL_RULES:
+        for rule in UNIT_RULES:
             raw.extend(rule.check(unit))
+    for rule in PROJECT_RULES:
+        raw.extend(rule.check_project(project))
 
     raw = [f for f in raw if not _allowlisted(f, allowlist)]
 
@@ -120,16 +147,17 @@ def run(root, paths, allowlist=None):
                      for line, rule, msg in kept)
 
     final.sort(key=lambda f: (f[0], f[1], f[2], f[3]))
-    return final, len(rel_files)
+    return final, len(rel_files), project.summary()
 
 
-def to_json(findings, files_scanned, root):
+def to_json(findings, files_scanned, root, graph):
     return {
         "schema": SCHEMA,
         "version": __version__,
         "root": root,
         "files_scanned": files_scanned,
         "count": len(findings),
+        "graph": graph,
         "findings": [
             {"path": p, "line": l, "rule": r, "message": m}
             for p, l, r, m in findings

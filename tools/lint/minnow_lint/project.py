@@ -1,0 +1,439 @@
+"""Whole-program model: call graph + include graph + layer DAG.
+
+Built once per lint run from every FileModel in the scan, this is
+what lifts minnow-lint from a per-translation-unit scanner to a
+whole-program analyzer (DESIGN.md 5l). It derives:
+
+  - a *function index*: every method and free function in the scan,
+    keyed by qualified name ("Class::method" / "freeFunction"),
+    with per-function facts the rules need (is it a coroutine, does
+    its header mention CoTask, its reference/pointer parameters);
+
+  - a *call graph*: edges from each function to the definitions its
+    body may call. Resolution is conservative by design: a bare call
+    `f(...)` binds to the same-class `f` when one exists, else to
+    every definition named `f` in the project; a member call
+    `recv.f(...)` binds to every class that defines `f` (the
+    overload-set / virtual-dispatch approximation — we cannot know
+    the receiver's static type from tokens, so we over-approximate
+    the callee set and rules stay sound for reachability queries);
+
+  - an *include graph*: `#include "..."` edges resolved against the
+    scanned file set by path-suffix match (the project convention is
+    src-relative includes, "runtime/machine.hh"), collapsed onto the
+    layer assignment from tools/lint/layers.toml;
+
+  - the *layer DAG*: layers.toml lists layers lowest-first; a file's
+    layer is the first whose directory prefix matches. An include
+    may only point at the same or a lower layer; exceptions live in
+    the same file as reviewed [[allow]] entries with reasons.
+
+Known approximations (also documented in DESIGN.md 5l): no template
+instantiation, no overload resolution by arity/type, function-pointer
+and coroutine-handle indirection invisible, `#include <...>` system
+headers ignored. Every rule built on this model is written so an
+over-approximated edge can only widen a reachability answer, never
+invent a taint path out of thin air (taint still requires a real
+token-level source call).
+"""
+
+import os
+from dataclasses import dataclass, field
+
+try:
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - python < 3.11
+    _toml = None
+
+
+@dataclass
+class FuncInfo:
+    key: str            # unique key: "path::Class::name#line"
+    qual: str           # "Class::name" or "name"
+    cls: str            # owning class name or ""
+    name: str           # base name
+    path: str
+    line: int
+    method: object      # the cpp_model.Method
+    is_coroutine: bool = False   # body contains co_await/co_yield
+    returns_cotask: bool = False  # header mentions CoTask
+    callees: set = field(default_factory=set)  # resolved FuncInfo keys
+    call_sites: list = field(default_factory=list)  # (base_name, line)
+
+
+@dataclass
+class IncludeEdge:
+    from_path: str
+    to_path: str    # resolved scanned path ('' if unresolved)
+    target: str     # the literal include string
+    line: int
+
+
+@dataclass
+class Layers:
+    """Parsed tools/lint/layers.toml."""
+    names: list = field(default_factory=list)   # lowest layer first
+    dirs: list = field(default_factory=list)    # [(prefix, name)]
+    allows: list = field(default_factory=list)  # [(from, to, reason)]
+
+    def layer_of(self, path):
+        """(name, level) for `path`, or (None, None) if unlayered."""
+        p = path.replace("\\", "/")
+        for prefix, name in self.dirs:
+            if p.startswith(prefix.rstrip("/") + "/"):
+                return name, self.names.index(name)
+        return None, None
+
+    def allowed(self, from_path, to_path):
+        """Reason string if the edge is allowlisted, else None."""
+        f = from_path.replace("\\", "/")
+        t = to_path.replace("\\", "/")
+        for afrom, ato, reason in self.allows:
+            if f.startswith(afrom) and t.startswith(ato):
+                return reason
+        return None
+
+
+class LayersError(Exception):
+    """layers.toml is missing required fields or malformed."""
+
+
+def load_layers(root, rel="tools/lint/layers.toml"):
+    """Parse layers.toml under `root`. Returns None when the file
+    does not exist (layer checking is then skipped); raises
+    LayersError on a malformed file — a bad config must fail the
+    run loudly, not silently disable the DAG check."""
+    full = os.path.join(root, rel)
+    if not os.path.isfile(full) or _toml is None:
+        return None
+    with open(full, "rb") as f:
+        try:
+            doc = _toml.load(f)
+        except _toml.TOMLDecodeError as e:
+            raise LayersError("%s: %s" % (rel, e))
+    layers = Layers()
+    for entry in doc.get("layer", []):
+        name = entry.get("name")
+        dirs = entry.get("dirs")
+        if not name or not isinstance(dirs, list) or not dirs:
+            raise LayersError(
+                "%s: every [[layer]] needs name and dirs" % rel)
+        if name in layers.names:
+            raise LayersError(
+                "%s: duplicate layer '%s'" % (rel, name))
+        layers.names.append(name)
+        for d in dirs:
+            layers.dirs.append((d.replace("\\", "/"), name))
+    for entry in doc.get("allow", []):
+        afrom = entry.get("from")
+        ato = entry.get("to")
+        reason = entry.get("reason", "").strip()
+        if not afrom or not ato or not reason:
+            raise LayersError(
+                "%s: every [[allow]] needs from, to and a non-empty "
+                "reason" % rel)
+        layers.allows.append((afrom, ato, reason))
+    if not layers.names:
+        raise LayersError("%s: no [[layer]] entries" % rel)
+    return layers
+
+
+def _iter_defs(model):
+    """Yield (cls_name, Method) for every definition in a file."""
+    for fn in model.functions:
+        yield fn.cls, fn
+    for cls in model.classes:
+        for m in cls.methods:
+            yield cls.name, m
+
+
+def _has_coro_keyword(body):
+    return any(t.kind == "id" and
+               t.text in ("co_await", "co_yield", "co_return")
+               for t in body)
+
+
+def _suspends(body):
+    return any(t.kind == "id" and t.text in ("co_await", "co_yield")
+               for t in body)
+
+
+_NOT_CALL_PREV = {"~"}
+
+# Identifier-like tokens that look like calls but never are (control
+# flow, casts, declarations-of-builtins). Keeps the call graph from
+# drowning in junk edges.
+_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "co_await", "co_return", "co_yield", "static_cast",
+    "dynamic_cast", "reinterpret_cast", "const_cast", "new",
+    "delete", "catch", "assert", "decltype", "noexcept", "alignas",
+    "defined", "static_assert",
+}
+
+
+def body_calls(body):
+    """[(base_name, line)] for every call-shaped site in `body`."""
+    out = []
+    n = len(body)
+    for i, t in enumerate(body):
+        if t.kind != "id" or t.text in _NOT_CALLS:
+            continue
+        if i + 1 >= n or body[i + 1].kind != "punct" or \
+                body[i + 1].text != "(":
+            continue
+        if i > 0 and body[i - 1].kind == "punct" and \
+                body[i - 1].text in _NOT_CALL_PREV:
+            continue
+        out.append((t.text, t.line))
+    return out
+
+
+class ProjectModel:
+    """Merged view of every scanned FileModel (see module doc)."""
+
+    def __init__(self, models, layers=None):
+        self.models = list(models)
+        self.layers = layers
+        self.functions = {}      # key -> FuncInfo
+        self._by_method = {}     # id(Method) -> key
+        self.by_name = {}        # base name -> [key]
+        self.by_class = {}       # class name -> [key]
+        self.classes = {}        # class name -> merged view dict
+        self.include_edges = []  # [IncludeEdge]
+        self._build_functions()
+        self._build_call_graph()
+        self._build_includes()
+
+    # -- construction ---------------------------------------------------
+
+    def _build_functions(self):
+        for model in self.models:
+            for cls_name, m in _iter_defs(model):
+                base = m.name.split("::")[-1]
+                qual = (cls_name + "::" + base) if cls_name else base
+                key = "%s::%s#%d" % (model.path, qual, m.line)
+                fi = FuncInfo(
+                    key=key, qual=qual, cls=cls_name, name=base,
+                    path=model.path, line=m.line, method=m,
+                    is_coroutine=_has_coro_keyword(m.body),
+                    returns_cotask=any(
+                        t.kind == "id" and t.text == "CoTask"
+                        for t in m.header),
+                )
+                self.functions[key] = fi
+                self._by_method[id(m)] = key
+                self.by_name.setdefault(base, []).append(key)
+                if cls_name:
+                    self.by_class.setdefault(cls_name, []).append(key)
+        # Merged class view: members + methods across all files.
+        for model in self.models:
+            for cls in model.classes:
+                e = self.classes.setdefault(
+                    cls.name, {"members": [], "methods": [],
+                               "path": model.path, "line": cls.line})
+                e["members"].extend(
+                    (model.path, mem) for mem in cls.members)
+                e["methods"].extend(
+                    (model.path, m) for m in cls.methods)
+            for fn in model.functions:
+                if fn.cls:
+                    e = self.classes.setdefault(
+                        fn.cls, {"members": [], "methods": [],
+                                 "path": model.path, "line": fn.line})
+                    e["methods"].append((model.path, fn))
+
+    def _build_call_graph(self):
+        for fi in self.functions.values():
+            fi.call_sites = body_calls(fi.method.body)
+            for name, _line in fi.call_sites:
+                for key in self._resolve(fi, name):
+                    fi.callees.add(key)
+
+    def _resolve(self, caller, name):
+        """Callee keys a call to `name` from `caller` may reach.
+
+        Same-class definitions win for bare calls; otherwise the
+        whole overload set (every definition with that base name)
+        is the conservative answer.
+        """
+        targets = self.by_name.get(name)
+        if not targets:
+            return ()
+        if caller.cls:
+            same = [k for k in targets
+                    if self.functions[k].cls == caller.cls]
+            if same:
+                return same
+        return targets
+
+    def _build_includes(self):
+        # Path-suffix resolution table: "runtime/machine.hh" must
+        # resolve to the scanned src/runtime/machine.hh.
+        paths = [m.path.replace("\\", "/") for m in self.models]
+        for model in self.models:
+            for pp in model.pp:
+                text = pp.text.strip()
+                if not text.startswith("#"):
+                    continue
+                rest = text[1:].strip()
+                if not rest.startswith("include"):
+                    continue
+                rest = rest[len("include"):].strip()
+                if not rest.startswith('"'):
+                    continue  # system headers are out of scope
+                end = rest.find('"', 1)
+                if end < 0:
+                    continue
+                target = rest[1:end]
+                resolved = ""
+                for p in paths:
+                    if p == target or p.endswith("/" + target):
+                        resolved = p
+                        break
+                self.include_edges.append(IncludeEdge(
+                    from_path=model.path, to_path=resolved,
+                    target=target, line=pp.line))
+
+    # -- queries --------------------------------------------------------
+
+    def funcs_named(self, name):
+        return [self.functions[k]
+                for k in self.by_name.get(name, ())]
+
+    def func_of(self, method):
+        """FuncInfo for a cpp_model.Method seen during the scan."""
+        key = self._by_method.get(id(method))
+        return self.functions.get(key) if key else None
+
+    def class_funcs(self, cls_name):
+        return [self.functions[k]
+                for k in self.by_class.get(cls_name, ())]
+
+    def reachable_from(self, key, max_depth=6, same_class=None):
+        """Set of FuncInfo keys reachable from `key` through the
+        call graph, within `max_depth` edges. `same_class` restricts
+        traversal to methods of that class plus free functions
+        (the shape class-local protocols like E1/L2 need)."""
+        seen = {key}
+        frontier = [key]
+        depth = 0
+        while frontier and depth < max_depth:
+            nxt = []
+            for k in frontier:
+                fi = self.functions.get(k)
+                if fi is None:
+                    continue
+                for c in fi.callees:
+                    if c in seen:
+                        continue
+                    cf = self.functions[c]
+                    if same_class is not None and cf.cls and \
+                            cf.cls != same_class:
+                        continue
+                    seen.add(c)
+                    nxt.append(c)
+            frontier = nxt
+            depth += 1
+        return seen
+
+    def taint_closure(self, source_names, max_depth=3):
+        """Keys of functions whose *return value* may carry a value
+        from one of `source_names`, through at most `max_depth`
+        call layers.
+
+        Depth 1: the body both calls a source and returns something.
+        Depth k: the body calls a depth-(k-1) tainted function and
+        returns something. A function that calls a source but never
+        returns a value cannot forward taint through its result
+        (it may still sink it locally — the rule checks bodies for
+        that separately).
+        """
+        tainted = {}  # key -> depth
+        names = set(source_names)
+
+        def returns_value(fi):
+            body = fi.method.body
+            for i, t in enumerate(body):
+                if t.kind == "id" and t.text == "return" and \
+                        i + 1 < len(body) and \
+                        not (body[i + 1].kind == "punct" and
+                             body[i + 1].text == ";"):
+                    return True
+                if t.kind == "id" and t.text == "co_return" and \
+                        i + 1 < len(body) and \
+                        not (body[i + 1].kind == "punct" and
+                             body[i + 1].text == ";"):
+                    return True
+            return False
+
+        for fi in self.functions.values():
+            if any(n in names for n, _l in fi.call_sites) and \
+                    returns_value(fi):
+                tainted[fi.key] = 1
+
+        for depth in range(2, max_depth + 1):
+            grew = False
+            prev_names = {self.functions[k].name
+                          for k, d in tainted.items()
+                          if d == depth - 1}
+            if not prev_names:
+                break
+            for fi in self.functions.values():
+                if fi.key in tainted:
+                    continue
+                if any(n in prev_names for n, _l in fi.call_sites) \
+                        and returns_value(fi):
+                    tainted[fi.key] = depth
+                    grew = True
+            if not grew:
+                break
+        return tainted
+
+    def include_cycles(self):
+        """File-level include cycles among resolved edges, as a list
+        of cycles (each a list of paths, smallest-first rotation,
+        deduplicated)."""
+        graph = {}
+        for e in self.include_edges:
+            if e.to_path and e.to_path != e.from_path:
+                graph.setdefault(e.from_path, set()).add(e.to_path)
+        cycles = set()
+        state = {}  # 0 unvisited implicit, 1 on stack, 2 done
+
+        def dfs(node, stack):
+            state[node] = 1
+            stack.append(node)
+            for nxt in sorted(graph.get(node, ())):
+                s = state.get(nxt, 0)
+                if s == 0:
+                    dfs(nxt, stack)
+                elif s == 1:
+                    cyc = stack[stack.index(nxt):]
+                    lo = min(range(len(cyc)), key=lambda i: cyc[i])
+                    cycles.add(tuple(cyc[lo:] + cyc[:lo]))
+            stack.pop()
+            state[node] = 2
+
+        for node in sorted(graph):
+            if state.get(node, 0) == 0:
+                dfs(node, [])
+        return [list(c) for c in sorted(cycles)]
+
+    def summary(self):
+        """The `graph` block for --json and the CLI summary line."""
+        layered = 0
+        if self.layers is not None:
+            for m in self.models:
+                if self.layers.layer_of(m.path)[0] is not None:
+                    layered += 1
+        return {
+            "files": len(self.models),
+            "functions": len(self.functions),
+            "call_edges": sum(len(f.callees)
+                              for f in self.functions.values()),
+            "include_edges": len(self.include_edges),
+            "layers": (len(self.layers.names)
+                       if self.layers is not None else 0),
+            "layered_files": layered,
+        }

@@ -1,9 +1,16 @@
-"""Rule registry. Each rule module exposes RULE_ID, DOC, and
-check(unit) -> [(path, line, rule, message)].
+"""Rule registry. Two kinds of rule module:
 
-A `unit` is a list of FileModel objects sharing a path stem (foo.hh
-+ foo.cc), so rules that relate a class body to its out-of-line
-member definitions see both sides.
+  - per-unit rules expose check(unit) -> [(path, line, rule, msg)],
+    where a `unit` is a list of FileModel objects sharing a path
+    stem (foo.hh + foo.cc), so rules relating a class body to its
+    out-of-line member definitions see both sides;
+
+  - whole-program rules expose check_project(project) and run once
+    per scan against the ProjectModel (call graph, include graph,
+    layer DAG — see project.py and DESIGN.md 5l).
+
+A module may expose either or both; every module exposes RULE_ID
+and DOC.
 """
 
 from . import determinism
@@ -14,6 +21,9 @@ from . import daemon_accounting
 from . import trace_format
 from . import serializer_coverage
 from . import host_threading
+from . import coro_suspend
+from . import determinism_taint
+from . import layer_dag
 
 ALL_RULES = [
     determinism,
@@ -24,7 +34,13 @@ ALL_RULES = [
     trace_format,
     serializer_coverage,
     host_threading,
+    coro_suspend,
+    determinism_taint,
+    layer_dag,
 ]
+
+UNIT_RULES = [r for r in ALL_RULES if hasattr(r, "check")]
+PROJECT_RULES = [r for r in ALL_RULES if hasattr(r, "check_project")]
 
 RULE_IDS = [r.RULE_ID for r in ALL_RULES]
 

@@ -20,14 +20,18 @@ Guarding the re-arm with `!eq.empty()` instead is the PR 4
 mutual-keepalive hang: two daemons each see the other's pending
 event and re-arm forever.
 
-Detection: a handler H is a *daemon* when some method schedules the
-member-function pointer `&C::H` and the re-arm of `&C::H` is
-reachable from H itself (in H's body, or in a method H calls — the
-watchdog splits checkEvent/check that way). For a daemon chain the
-rule requires: daemonScheduled in every body that arms `&C::H`,
-daemonFired in H, a quiescent() call guarding the re-arm body, and
-no empty()-based guard on an event-queue receiver anywhere in the
-chain.
+Detection (whole-program since the ProjectModel landed): a handler
+H is a *daemon* when some method schedules the member-function
+pointer `&C::H` and the re-arm of `&C::H` is reachable from H
+through the project call graph (restricted to C's methods plus free
+functions, depth <= 6 — the watchdog's checkEvent/check split and
+any deeper helper chains are followed). For a daemon chain the rule
+requires: daemonScheduled in every body that arms `&C::H`,
+daemonFired reachable from H, a quiescent() call guarding each
+re-arm body, and no empty()-based guard on an event-queue receiver
+anywhere in the chain. The pre-ProjectModel version followed exactly
+one handler→helper level; a re-arm two calls deep was a false
+negative (tests/lint_fixtures/daemon_deep_bad.cc pins the fix).
 """
 
 from ..scan import receiver_chain, split_args
@@ -36,22 +40,6 @@ RULE_ID = "daemon-accounting"
 
 DOC = ("self-rearming EventQueue events must use daemonScheduled/"
        "daemonFired/quiescent, never an empty() guard")
-
-
-def _merge_methods(unit):
-    """class name -> [(path, Method)] across the unit (inline
-    methods plus out-of-line definitions tagged with cls)."""
-    classes = {}
-    for model in unit:
-        for cls in model.classes:
-            for m in cls.methods:
-                classes.setdefault(cls.name, []).append(
-                    (model.path, m))
-        for fn in model.functions:
-            if fn.cls:
-                classes.setdefault(fn.cls, []).append(
-                    (model.path, fn))
-    return classes
 
 
 def _handler_schedules(body):
@@ -101,13 +89,12 @@ def _eqish_empty_calls(body):
     return out
 
 
-def check(unit):
+def check_project(project):
     findings = []
-    classes = _merge_methods(unit)
-    for cls_name, methods in classes.items():
+    for cls_name, entry in project.classes.items():
         by_base = {}
         arm_sites = {}  # handler -> [(path, line, Method)]
-        for path, m in methods:
+        for path, m in entry["methods"]:
             base = m.name.split("::")[-1]
             by_base.setdefault(base, (path, m))
             for line, hcls, hname in _handler_schedules(m.body):
@@ -120,16 +107,17 @@ def check(unit):
             if hname not in by_base:
                 continue
             hpath, handler = by_base[hname]
-            # A daemon: the re-arm of &C::hname is reachable from the
-            # handler — in its own body, or in a method its body
-            # calls (the watchdog checkEvent -> check split).
-            chain = {id(handler): (hpath, handler)}
-            for i, t in enumerate(handler.body):
-                if t.kind == "id" and i + 1 < len(handler.body) and \
-                        handler.body[i + 1].text == "(" and \
-                        t.text in by_base:
-                    cp, cm = by_base[t.text]
-                    chain[id(cm)] = (cp, cm)
+            hfi = project.func_of(handler)
+            # The call chain below the handler, through the project
+            # call graph: C's own methods plus free functions, so a
+            # re-arm or daemonFired buried N helpers deep is seen.
+            chain = {}
+            if hfi is not None:
+                for k in project.reachable_from(
+                        hfi.key, max_depth=6, same_class=cls_name):
+                    cf = project.functions[k]
+                    chain[id(cf.method)] = (cf.path, cf.method)
+            chain.setdefault(id(handler), (hpath, handler))
             rearm = any(
                 any(h == hname for _l, _c, h in
                     _handler_schedules(m.body))
@@ -147,18 +135,20 @@ def check(unit):
                          "() in the same function; the queue will "
                          "either never drain or drain early"
                          % (hname, cls_name, hname)))
-            # 2. Handler must fire the accounting first.
-            if not _has_id_call(handler.body, "daemonFired"):
+            # 2. daemonFired must be reachable from the handler.
+            if not any(_has_id_call(m.body, "daemonFired")
+                       for _p, m in chain.values()):
                 findings.append(
                     (hpath, handler.line, RULE_ID,
-                     "daemon handler '%s::%s' never calls "
+                     "daemon handler '%s::%s' never reaches "
                      "daemonFired(); the queue's daemon count "
                      "stays high and run() exits early"
                      % (cls_name, hname)))
-            # 3. The re-arm must be quiescent()-guarded. Only
-            # methods reachable from the handler count as re-arm
-            # sites; a standalone arm() that only the owner calls is
-            # the initial arm and may schedule unconditionally.
+            # 3. The re-arm must be quiescent()-guarded in the body
+            # that performs it. Only methods reachable from the
+            # handler count as re-arm sites; a standalone arm() that
+            # only the owner calls is the initial arm and may
+            # schedule unconditionally.
             for p, m in chain.values():
                 rearms_here = any(
                     h == hname for _l, _c, h in

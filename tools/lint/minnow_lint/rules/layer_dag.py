@@ -1,0 +1,77 @@
+"""A1 `layer-dag`: the src/ layer architecture is a checked DAG.
+
+The implicit architecture this repo grew —
+
+    base → graph/sim → mem/cpu → minnow/worklist
+         → galois/bsp/runtime → apps/harness
+
+— existed only in reviewers' heads until now. Each layer may include
+its own layer and anything *below* it; an include that points at a
+higher layer couples a foundation to its clients (the next refactor
+of the client breaks the foundation), and an include cycle between
+files makes build order and ownership ambiguous.
+
+The layer order and the directory→layer mapping live in
+tools/lint/layers.toml, lowest layer first. Grandfathered backward
+edges (e.g. minnow/ including runtime/machine.hh — the engine and
+the machine are mutually coupled by the offload protocol today) are
+reviewed [[allow]] entries there, each with a reason; a new backward
+edge is a finding until it is either fixed or explicitly reviewed
+into the allowlist. Findings land on the `#include` line.
+
+File-level include cycles are always findings — there is no
+legitimate cycle — and are reported once per cycle on its
+lexicographically first file. Unresolved includes (system headers,
+files outside the scan set) are skipped: the rule judges only edges
+between files it can see, so partial scans stay quiet rather than
+wrong.
+"""
+
+RULE_ID = "layer-dag"
+
+DOC = ("includes must respect the layer DAG in tools/lint/"
+       "layers.toml; backward includes and include cycles are "
+       "findings")
+
+
+def check_project(project):
+    findings = []
+    layers = project.layers
+    if layers is None:
+        return findings
+
+    for e in project.include_edges:
+        if not e.to_path:
+            continue  # unresolved: outside the scan set
+        from_layer, from_level = layers.layer_of(e.from_path)
+        to_layer, to_level = layers.layer_of(e.to_path)
+        if from_layer is None or to_layer is None:
+            continue  # unlayered file (tools, tests without mapping)
+        if to_level <= from_level:
+            continue  # same layer or downward: fine
+        reason = layers.allowed(e.from_path, e.to_path)
+        if reason is not None:
+            continue
+        findings.append(
+            (e.from_path, e.line, RULE_ID,
+             "layer '%s' includes \"%s\" from higher layer '%s'; "
+             "the DAG (tools/lint/layers.toml) only allows "
+             "same-or-lower includes — invert the dependency or "
+             "add a reviewed [[allow]] entry"
+             % (from_layer, e.target, to_layer)))
+
+    for cyc in project.include_cycles():
+        head = cyc[0]
+        # Anchor the finding on head's include of the next file in
+        # the cycle.
+        line = 1
+        for e in project.include_edges:
+            if e.from_path == head and e.to_path == cyc[1 % len(cyc)]:
+                line = e.line
+                break
+        findings.append(
+            (head, line, RULE_ID,
+             "include cycle: %s; break the cycle (forward-declare, "
+             "split the header, or move the shared piece down a "
+             "layer)" % " -> ".join(cyc + [head])))
+    return findings

@@ -10,8 +10,12 @@ Rule: if any method of class C calls `<recv>.group(...)` or
 `<recv>.freshGroup(...)` where the receiver is not a StatsRegistry
 data member of C itself (i.e. the registry is external — a
 parameter, or reached through another object), then C must define a
-destructor from which a `removeGroup(...)` call is reachable (in the
-destructor body, or in a method the destructor calls directly).
+destructor from which a `removeGroup(...)` call is reachable through
+the project call graph (C's methods plus free functions, depth <= 6
+— since the ProjectModel landed this follows helper chains of any
+realistic depth, where the old rule stopped after one level and
+flagged a removeGroup two helpers deep as missing;
+tests/lint_fixtures/stats_deep_ok.hh pins that).
 
 The conforming pattern is worklist/worklist.hh: attachStats() stores
 the registry pointer, ~Worklist() calls removeGroup.
@@ -27,34 +31,10 @@ DOC = ("StatsRegistry group registrations into an external registry "
 _REGISTER = {"group", "freshGroup"}
 
 
-def _merge_classes(unit):
-    """name -> (ClassDef-ish dict) with members and methods merged
-    across the unit's files, remembering each method's file."""
-    classes = {}
-
-    def cls_entry(name):
-        return classes.setdefault(
-            name, {"members": [], "methods": [], "line": 0,
-                   "path": ""})
-
-    for model in unit:
-        for cls in model.classes:
-            e = cls_entry(cls.name)
-            e["members"].extend(cls.members)
-            for m in cls.methods:
-                e["methods"].append((model.path, m))
-            if not e["path"]:
-                e["path"], e["line"] = model.path, cls.line
-        for fn in model.functions:
-            if fn.cls:
-                cls_entry(fn.cls)["methods"].append((model.path, fn))
-    return classes
-
-
 def _own_registry_members(entry):
     """Names of by-value StatsRegistry data members of the class."""
     own = set()
-    for m in entry["members"]:
+    for _path, m in entry["members"]:
         if type_mentions(m.type_tokens, {"StatsRegistry"}):
             # By-value only: a pointer/reference member means the
             # registry lives elsewhere.
@@ -81,35 +61,36 @@ def _registration_sites(entry):
     return sites
 
 
-def _removal_reachable(entry, cls_name):
-    """Is a removeGroup() call reachable from ~cls_name, directly or
-    through one level of member calls?"""
+def _removal_reachable(project, entry, cls_name):
+    """Is a removeGroup() call reachable from ~cls_name through the
+    project call graph (class methods + free functions)?"""
     dtor = None
-    by_name = {}
     for _path, m in entry["methods"]:
-        base = m.name.split("::")[-1]
-        by_name.setdefault(base, m)
-        if base == "~" + cls_name:
+        if m.name.split("::")[-1] == "~" + cls_name:
             dtor = m
+            break
     if dtor is None:
         return False
+
     def body_has_remove(m):
         return any(t.kind == "id" and t.text == "removeGroup"
                    for t in m.body)
+
     if body_has_remove(dtor):
         return True
-    for i, t in enumerate(dtor.body):
-        if t.kind == "id" and i + 1 < len(dtor.body) and \
-                dtor.body[i + 1].text == "(" and t.text in by_name:
-            if body_has_remove(by_name[t.text]):
-                return True
+    dfi = project.func_of(dtor)
+    if dfi is None:
+        return False
+    for key in project.reachable_from(dfi.key, max_depth=6,
+                                      same_class=cls_name):
+        if body_has_remove(project.functions[key].method):
+            return True
     return False
 
 
-def check(unit):
+def check_project(project):
     findings = []
-    classes = _merge_classes(unit)
-    for name, entry in classes.items():
+    for name, entry in project.classes.items():
         sites = _registration_sites(entry)
         if not sites:
             continue
@@ -124,7 +105,7 @@ def check(unit):
             external.append((path, line, chain))
         if not external:
             continue
-        if _removal_reachable(entry, name):
+        if _removal_reachable(project, entry, name):
             continue
         for path, line, chain in external:
             findings.append(
